@@ -1,0 +1,51 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one table/figure of the paper and prints the
+series it produces (scheme x load -> metric), so `pytest benchmarks/
+--benchmark-only -s` doubles as the paper-reproduction report.  Figures are
+expensive whole-simulation sweeps, so each runs exactly once
+(``benchmark.pedantic(rounds=1, iterations=1)``).
+
+Set ``REPRO_BENCH_QUALITY=full`` for paper-grade statistics (slower).
+"""
+
+import os
+
+import pytest
+
+from repro.harness.figures import FigureQuality
+
+FULL = os.environ.get("REPRO_BENCH_QUALITY", "quick") == "full"
+
+
+def bench_quality() -> FigureQuality:
+    """CI-speed by default; REPRO_BENCH_QUALITY=full for paper-grade runs.
+
+    The horizon (jobs per client) matters: the schemes separate through
+    sustained backlog on the bottleneck, which needs hundreds of jobs per
+    connection to accumulate (the paper ran 50K).
+    """
+    if FULL:
+        return FigureQuality(
+            loads=(0.1, 0.3, 0.5, 0.6, 0.7, 0.8),
+            seeds=(1, 2, 3),
+            jobs_per_client=600,
+        )
+    return FigureQuality(loads=(0.3, 0.5, 0.7), seeds=(1,), jobs_per_client=200)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive figure function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_series(title: str, series, scale=1000.0, unit="ms"):
+    print(f"\n=== {title} ===")
+    loads = [l for l, _ in next(iter(series.values()))]
+    header = f"{'load':>6} " + " ".join(f"{s:>22}" for s in series)
+    print(header)
+    for i, load in enumerate(loads):
+        row = f"{load:>6.2f} "
+        row += " ".join(f"{series[s][i][1] * scale:>22.3f}" for s in series)
+        print(row)
+    print(f"(values in {unit})")

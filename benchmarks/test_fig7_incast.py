@@ -1,0 +1,36 @@
+"""Figure 7: incast — client goodput vs request fan-in.
+
+Paper reference points: Clove-ECN and Edge-Flowlet (riding the unmodified
+guest TCP) hold near line-rate goodput as the fan-in grows; MPTCP's
+simultaneous subflow slow starts collapse it (1.9x worse than Clove at
+fanout 10, 3.4x at 16 in the paper's 16-server testbed).
+"""
+
+import os
+
+from benchmarks.conftest import FULL, run_once
+from repro.harness.figures import fig7
+
+
+def test_fig7_incast(benchmark):
+    fanouts = (1, 2, 4, 8) if not FULL else (1, 2, 4, 6, 8)
+    series = run_once(
+        benchmark, fig7,
+        fanouts=fanouts,
+        n_requests=8 if not FULL else 30,
+        total_bytes=2_000_000,
+    )
+    print("\n=== Figure 7: incast goodput (Gbps) vs fan-in ===")
+    print(f"{'fanout':>6} " + " ".join(f"{s:>14}" for s in series))
+    for i, fanout in enumerate(fanouts):
+        print(f"{fanout:>6} " + " ".join(
+            f"{series[s][i][1] / 1e9:>14.2f}" for s in series
+        ))
+    # Shape: at the largest fan-in Clove-ECN must beat MPTCP clearly.
+    top = len(fanouts) - 1
+    clove = series["clove-ecn"][top][1]
+    mptcp = series["mptcp"][top][1]
+    assert clove > mptcp * 1.3, (
+        f"Clove ({clove/1e9:.2f}G) should clearly beat MPTCP "
+        f"({mptcp/1e9:.2f}G) at fan-in {fanouts[top]}"
+    )

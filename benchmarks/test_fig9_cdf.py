@@ -1,0 +1,31 @@
+"""Figure 9: CDF of mice-flow FCTs at 70% load under asymmetry.
+
+Paper reference point: Clove-ECN's 99th-percentile mice FCT captures ~80%
+of the gap between ECMP's and CONGA's 99th percentiles.
+"""
+
+from benchmarks.conftest import FULL, run_once
+from repro.harness.figures import fig9, fig9_percentiles
+
+
+def test_fig9_mice_cdf(benchmark):
+    cdfs = run_once(
+        benchmark, fig9,
+        load=0.7,
+        seed=1,
+        jobs_per_client=60 if not FULL else 300,
+    )
+    print("\n=== Figure 9: CDF of mice FCTs, asymmetric, 70% load ===")
+    for scheme, points in cdfs.items():
+        deciles = [points[min(len(points) - 1, int(len(points) * f))]
+                   for f in (0.5, 0.9, 0.99)]
+        rendered = ", ".join(f"p{int(f*100)}={fct*1000:.3f}ms"
+                             for f, (fct, _frac) in zip((0.5, 0.9, 0.99), deciles))
+        print(f"  {scheme:<12} {rendered}")
+    p99 = fig9_percentiles(cdfs, 0.99)
+    print("  99th percentiles:", {k: f"{v*1000:.3f}ms" for k, v in p99.items()})
+    assert set(cdfs) == {"ecmp", "clove-ecn", "conga"}
+    for points in cdfs.values():
+        fractions = [frac for _fct, frac in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Clove on a fat-tree: path discovery beyond the paper's 2-tier testbed.
+
+Clove claims to work on *any* ECMP topology.  This example builds a k=4
+fat-tree, runs the traceroute daemon between two hosts in different pods,
+and shows the discovered cross-pod paths (edge -> aggregation -> core ->
+aggregation -> edge) plus a Clove-ECN transfer running over them.
+
+Run:  python examples/fat_tree_clove.py
+"""
+
+from repro import Host, RngRegistry, Simulator
+from repro.core.clove import CloveEcnPolicy, CloveParams
+from repro.core.discovery import DiscoveryConfig, PathDiscovery
+from repro.topology.fattree import FatTreeConfig, build_fat_tree
+from repro.transport.tcp import open_connection
+
+
+def main() -> None:
+    sim = Simulator()
+    rng = RngRegistry(3)
+    net = build_fat_tree(sim, rng, FatTreeConfig(k=4))
+    print(f"Built k=4 fat-tree: {len(net.switches)} switches, {len(net.hosts)} hosts")
+
+    hosts = {}
+    for name in ("h0_0_0", "h3_1_1"):
+        policy = CloveEcnPolicy(CloveParams(flowlet_gap=50e-6))
+        host = Host(sim, net, name, policy, ecn_relay_interval=10e-6)
+        host.prober = PathDiscovery(
+            sim, host, rng.stream(f"disc-{name}"),
+            config=DiscoveryConfig(
+                k_paths=4, n_candidate_ports=32, max_ttl=6, round_timeout=3e-3,
+            ),
+            on_update=lambda dst, ports, traces, p=policy: p.set_paths(dst, ports, traces),
+        )
+        hosts[name] = host
+
+    src, dst = hosts["h0_0_0"], hosts["h3_1_1"]
+    src.prober.notice_destination(dst.ip)
+    dst.prober.notice_destination(src.ip)
+    sim.run(until=0.02)
+
+    selection = src.prober.paths_for(dst.ip)
+    print(f"\nDiscovered {len(selection)} distinct cross-pod paths:")
+    for port, trace in selection:
+        fabric = [hop for hop in trace if not hop.startswith("h")]
+        print(f"  port {port:>5}: {' -> '.join(fabric)}")
+
+    connection = open_connection(src, dst, 1000, 80)
+    done = []
+    connection.start_flow(5_000_000, lambda: done.append(sim.now))
+    sim.run(until=2.0)
+    if done:
+        elapsed = done[0] - 0.02
+        print(f"\n5MB Clove-ECN transfer completed in {elapsed*1000:.2f} ms "
+              f"({5_000_000*8/elapsed/1e9:.2f} Gbps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Inspect how each scheme spreads one flow's packets over physical paths.
+
+Uses the :mod:`repro.net.tracing` lens: trace every data packet of a single
+2MB transfer and show the distinct switch paths each load balancer used.
+ECMP pins the flow to one path; Edge-Flowlet/Clove hop per flowlet; Presto
+sprays per flowcell.
+
+Run:  python examples/path_spread_inspector.py
+"""
+
+import random
+
+from repro.baselines.ecmp import EcmpPolicy
+from repro.baselines.presto import PrestoPolicy
+from repro.core.clove import CloveEcnPolicy, CloveParams, EdgeFlowletPolicy
+from repro.hypervisor.host import Host
+from repro.net.packet import FlowKey, STT_DST_PORT
+from repro.net.tracing import PathTracer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.topology.leafspine import LeafSpineConfig, build_leaf_spine
+from repro.transport.tcp import open_connection
+
+
+def ports_for_all_paths(net, src_ip, dst_ip):
+    """Find one encapsulation source port per distinct fabric path."""
+    leaf = net.switches["L1"]
+    group = leaf.routes[dst_ip]
+    ports, seen = [], set()
+    for sport in range(49152, 49152 + 500):
+        key = FlowKey(src_ip, dst_ip, sport, STT_DST_PORT)
+        index = leaf.hasher.select(key, len(group))
+        if index not in seen:
+            seen.add(index)
+            ports.append(sport)
+        if len(ports) == len(group):
+            break
+    return ports
+
+
+def run_one(policy_name: str) -> None:
+    sim = Simulator()
+    net = build_leaf_spine(sim, RngRegistry(5), LeafSpineConfig(hosts_per_leaf=2))
+    params = CloveParams(flowlet_gap=20e-6)
+    factories = {
+        "ecmp": lambda: EcmpPolicy(hash_seed=7),
+        "edge-flowlet": lambda: EdgeFlowletPolicy(random.Random(7), params),
+        "clove-ecn": lambda: CloveEcnPolicy(params),
+        "presto": lambda: PrestoPolicy(flowcell_bytes=64 * 1460),
+    }
+    hosts = {
+        name: Host(sim, net, name, factories[policy_name]())
+        for name in sorted(net.hosts)
+    }
+    src, dst = hosts["h1_0"], hosts["h2_0"]
+    ports = ports_for_all_paths(net, src.ip, dst.ip)
+    for host, other in ((src, dst), (dst, src)):
+        policy = host.vswitch.policy
+        policy.set_paths(other.ip, ports, [(f"p{i}",) for i in range(len(ports))])
+
+    # A competing transfer into the same destination creates queueing;
+    # the slowed ACK clock opens inter-packet gaps, which is precisely how
+    # flowlet schemes get their re-routing opportunities (Section 3.2).
+    rival = hosts["h1_1"]
+    rival_policy = rival.vswitch.policy
+    rival_ports = ports_for_all_paths(net, rival.ip, dst.ip)
+    rival_policy.set_paths(dst.ip, rival_ports,
+                           [(f"r{i}",) for i in range(len(rival_ports))])
+    rival_connection = open_connection(rival, dst, 2000, 80)
+    rival_connection.start_flow(2_000_000, lambda: None)
+
+    tracer = PathTracer(match=lambda p: p.payload_bytes > 0)
+    src.send_from_guest = tracer.wrap(src.send_from_guest)
+    connection = open_connection(src, dst, 1000, 80)
+    connection.start_flow(2_000_000, lambda: None)
+    sim.run(until=2.0)
+
+    print(f"--- {policy_name} ---")
+    print(tracer.format_summary())
+    print(f"spread: {tracer.spread():.2f}\n")
+
+
+def main() -> None:
+    print("Path usage of one 2MB transfer under each edge scheme\n")
+    for name in ("ecmp", "edge-flowlet", "clove-ecn", "presto"):
+        run_one(name)
+    print("Reading the result: a healthy ACK-clocked flow almost never")
+    print("exceeds the flowlet gap, so Edge-Flowlet/Clove leave it intact")
+    print("(barely any path changes, hence no reordering risk), while")
+    print("Presto force-sprays every 64KB flowcell across all four paths")
+    print("and must repair the ordering at the receiver.  Flowlet schemes")
+    print("only re-route when congestion stalls the ACK clock - exactly")
+    print("when moving is worth it.")
+
+
+if __name__ == "__main__":
+    main()

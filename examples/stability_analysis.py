@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Stability of Clove's control loop — the study Section 7 calls for.
+
+The paper argues (by analogy to CONGA/HULA) that collecting congestion
+state at fine timescales and acting on it in the dataplane keeps adaptive
+routing stable, but leaves a rigorous study to future work.  This example
+runs that experiment on the simulator: it samples Clove-ECN's per-path
+weights and the fabric link utilizations through a loaded asymmetric run
+and reports oscillation metrics (coefficient of variation of each weight,
+and the max/mean utilization imbalance over time).
+
+Run:  python examples/stability_analysis.py
+"""
+
+from repro import ExperimentConfig
+from repro.harness.experiment import run_experiment
+from repro.metrics.timeseries import NetworkSampler, summarize
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        scheme="clove-ecn", load=0.7, asymmetric=True, seed=1,
+        jobs_per_client=150, flow_scale=1 / 40,
+    )
+    holder = {}
+
+    def attach_sampler(sim, net, hosts) -> None:
+        sampler = NetworkSampler(sim, interval=100e-6)
+        for link in net.links[("L1", "S1")] + net.links[("L1", "S2")]:
+            sampler.watch_link_utilization(link)
+        holder["policy"] = hosts["h1_0"].vswitch.policy
+        holder["dst"] = hosts["h2_0"].ip
+        sampler.start()
+        holder["sampler"] = sampler
+        # Path weights only exist after discovery; register lazily.
+        def register_weights() -> None:
+            policy = holder["policy"]
+            table = policy.weights
+            if table.has_paths(holder["dst"]):
+                sampler.watch_path_weights(table, holder["dst"])
+            else:
+                sim.schedule(1e-3, register_weights)
+        sim.schedule(5e-3, register_weights)
+
+    run_experiment(config, on_ready=attach_sampler)
+    sampler = holder["sampler"]
+
+    print("Clove-ECN stability under asymmetry (70% load)")
+    print("=" * 60)
+
+    util_names = [n for n in sampler.samples if n.startswith("util:")]
+    print("\nFabric uplink utilization (sampled every 100us):")
+    for name in util_names:
+        stats = sampler.stats(name)
+        print(f"  {name:<18} mean={stats.mean:.2f} std={stats.std:.2f} "
+              f"max={stats.maximum:.2f}")
+
+    imbalance = sampler.imbalance(util_names)
+    if imbalance:
+        stats = summarize(imbalance)
+        print(f"\nUtilization imbalance (max/mean per sample): "
+              f"mean={stats.mean:.2f}, worst={stats.maximum:.2f}")
+        print("(1.0 = perfectly balanced)")
+
+    weight_names = [n for n in sampler.samples if n.startswith("w:")]
+    if weight_names:
+        print("\nClove path-weight oscillation (per discovered path):")
+        for name in weight_names:
+            stats = sampler.stats(name)
+            print(f"  {name:<10} mean={stats.mean:.3f} "
+                  f"CV={stats.oscillation:.2f}")
+        print("\nBounded coefficients of variation with means tracking the")
+        print("asymmetric capacity split indicate a stable control loop.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+PEP 660 editable installs need `wheel`; offline boxes may not have it.
+With this shim, ``pip install -e . --no-build-isolation`` falls back to the
+legacy ``setup.py develop`` path and works everywhere.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro ...``.
+
+Subcommands:
+
+* ``run``     — one experiment point, prints the FCT summary;
+* ``sweep``   — scheme x load grid, prints the figure-style table;
+* ``figure``  — regenerate one of the paper's figures by name;
+* ``incast``  — the Figure 7 fan-in experiment;
+* ``schemes`` — list the available load-balancing schemes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.experiment import ExperimentConfig, SCHEMES, run_experiment
+from repro.harness.report import render_bar_chart, render_cdf, render_table
+from repro.harness.sweep import sweep_loads
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--load", type=float, default=0.7,
+                        help="offered load as a fraction of bisection bandwidth")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=150,
+                        help="jobs per client (run horizon)")
+    parser.add_argument("--asymmetric", action="store_true",
+                        help="fail one S2-L2 cable (the paper's scenario)")
+    parser.add_argument("--flow-scale", type=float, default=0.1,
+                        help="flow-size scale vs the paper's web-search CDF")
+
+
+def _config(args, scheme: Optional[str] = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        scheme=scheme or args.scheme,
+        load=args.load,
+        seed=args.seed,
+        jobs_per_client=args.jobs,
+        asymmetric=args.asymmetric,
+        flow_scale=args.flow_scale,
+    )
+
+
+def cmd_run(args) -> int:
+    """Handle ``repro run``: one experiment point, print its summary."""
+    result = run_experiment(_config(args))
+    summary = result.collector.summary()
+    if summary is None:
+        print("no jobs completed", file=sys.stderr)
+        return 1
+    print(f"scheme       : {args.scheme}")
+    print(f"load         : {args.load:.0%}"
+          f"{' (asymmetric)' if args.asymmetric else ''}")
+    print(f"jobs         : {summary.count}"
+          f" ({result.collector.completion_rate:.0%} completed)")
+    print(f"avg FCT      : {summary.mean * 1000:.3f} ms")
+    print(f"p50 / p95 / p99 : {summary.p50*1000:.3f} / "
+          f"{summary.p95*1000:.3f} / {summary.p99*1000:.3f} ms")
+    print(f"sim duration : {result.sim_duration:.3f} s"
+          f" ({result.wall_events} events)")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Handle ``repro sweep``: scheme x load grid as a text table."""
+    schemes = args.schemes.split(",")
+    for scheme in schemes:
+        if scheme not in SCHEMES:
+            print(f"unknown scheme {scheme!r}; see `schemes`", file=sys.stderr)
+            return 2
+    loads = [float(x) for x in args.loads.split(",")]
+    base = _config(args, scheme=schemes[0])
+    series = sweep_loads(base, schemes, loads, seeds=tuple(
+        args.seed + i for i in range(args.n_seeds)
+    ))
+    print(render_table(series))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    """Handle ``repro figure``: regenerate one paper figure."""
+    from repro.harness import figures
+    from repro.harness.figures import FigureQuality
+
+    quality = FigureQuality(
+        loads=tuple(float(x) for x in args.loads.split(",")),
+        seeds=tuple(args.seed + i for i in range(args.n_seeds)),
+        jobs_per_client=args.jobs,
+    )
+    name = args.name
+    if name == "fig4b":
+        print(render_table(figures.fig4b(quality)))
+    elif name == "fig4c":
+        print(render_table(figures.fig4c(quality)))
+    elif name in ("fig5a", "fig5b", "fig5c"):
+        kind = {"fig5a": "mice", "fig5b": "elephants", "fig5c": "p99"}[name]
+        print(render_table(figures.fig5(kind, quality)))
+    elif name == "fig6":
+        print(render_table(figures.fig6(quality)))
+    elif name == "fig8a":
+        print(render_table(figures.fig8a(quality)))
+    elif name == "fig8b":
+        print(render_table(figures.fig8b(quality)))
+    elif name == "fig9":
+        cdfs = figures.fig9(load=args.load, seed=args.seed,
+                            jobs_per_client=args.jobs)
+        print(render_cdf(cdfs))
+    else:
+        print(f"unknown figure {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_incast(args) -> int:
+    """Handle ``repro incast``: the Figure 7 fan-in experiment."""
+    from repro.harness.incast import run_incast
+
+    results = {}
+    for fanout in (int(x) for x in args.fanouts.split(",")):
+        goodput = run_incast(
+            scheme=args.scheme, fanout=fanout, seed=args.seed,
+            n_requests=args.requests, total_bytes=args.bytes,
+        )
+        results[f"fanout {fanout}"] = goodput / 1e9
+    print(render_bar_chart(results, unit=" Gbps"))
+    return 0
+
+
+def cmd_schemes(_args) -> int:
+    """Handle ``repro schemes``: list available scheme names."""
+    for scheme in SCHEMES:
+        print(scheme)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for the `repro` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clove (CoNEXT'17) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one experiment point")
+    p_run.add_argument("scheme", choices=SCHEMES)
+    _add_common(p_run)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="scheme x load sweep")
+    p_sweep.add_argument("--schemes", default="ecmp,edge-flowlet,clove-ecn")
+    p_sweep.add_argument("--loads", default="0.3,0.5,0.7")
+    p_sweep.add_argument("--n-seeds", type=int, default=1)
+    _add_common(p_sweep)
+    p_sweep.set_defaults(fn=cmd_sweep, scheme="ecmp")
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument("name", help="fig4b|fig4c|fig5a|fig5b|fig5c|fig6|fig8a|fig8b|fig9")
+    p_fig.add_argument("--loads", default="0.3,0.5,0.7")
+    p_fig.add_argument("--n-seeds", type=int, default=1)
+    _add_common(p_fig)
+    p_fig.set_defaults(fn=cmd_figure)
+
+    p_incast = sub.add_parser("incast", help="Figure 7 incast experiment")
+    p_incast.add_argument("--scheme", default="clove-ecn", choices=SCHEMES)
+    p_incast.add_argument("--fanouts", default="1,2,4,8")
+    p_incast.add_argument("--requests", type=int, default=8)
+    p_incast.add_argument("--bytes", type=int, default=2_000_000)
+    p_incast.add_argument("--seed", type=int, default=1)
+    p_incast.set_defaults(fn=cmd_incast)
+
+    p_schemes = sub.add_parser("schemes", help="list available schemes")
+    p_schemes.set_defaults(fn=cmd_schemes)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

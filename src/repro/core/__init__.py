@@ -1,0 +1,31 @@
+"""Clove itself: the paper's primary contribution.
+
+* :mod:`repro.core.flowlet` — software flowlet detection (Section 3.2);
+* :mod:`repro.core.discovery` — encapsulation-header traceroute and greedy
+  disjoint path selection (Section 3.1);
+* :mod:`repro.core.weights` — the weighted-round-robin path table with
+  ECN-driven weight adaptation (Section 3.2, Figure 2);
+* :mod:`repro.core.clove` — the three edge policies: Edge-Flowlet,
+  Clove-ECN and Clove-INT.
+"""
+
+from repro.core.flowlet import FlowletTable
+from repro.core.weights import WeightedPathTable
+from repro.core.discovery import PathDiscovery, DiscoveryConfig
+from repro.core.clove import (
+    EdgeFlowletPolicy,
+    CloveEcnPolicy,
+    CloveIntPolicy,
+    CloveParams,
+)
+
+__all__ = [
+    "FlowletTable",
+    "WeightedPathTable",
+    "PathDiscovery",
+    "DiscoveryConfig",
+    "EdgeFlowletPolicy",
+    "CloveEcnPolicy",
+    "CloveIntPolicy",
+    "CloveParams",
+]

@@ -1,0 +1,89 @@
+"""Software flowlet detection (Section 3.2).
+
+A flowlet is a burst of packets of one flow separated from the next burst
+by at least ``gap`` seconds of idle time.  When the gap is large enough
+(the paper recommends 1-2x RTT), consecutive flowlets can safely take
+different paths without reordering at the receiver.
+
+The table is the hypervisor analogue of the RCU hash lists the paper's OVS
+implementation uses: a dict keyed by the inner 5-tuple, consulted per
+packet on the hot path, with lazy eviction of idle entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+
+class _FlowletEntry:
+    __slots__ = ("port", "last_seen", "flowlet_id")
+
+    def __init__(self, port: int, now: float) -> None:
+        self.port = port
+        self.last_seen = now
+        self.flowlet_id = 0
+
+
+class FlowletTable:
+    """Per-flow flowlet state: current path (port) + last-packet timestamp."""
+
+    def __init__(self, gap: float, evict_after_gaps: float = 100.0) -> None:
+        if gap <= 0:
+            raise ValueError("flowlet gap must be positive")
+        self.gap = gap
+        self._evict_age = gap * evict_after_gaps
+        self._entries: Dict[Hashable, _FlowletEntry] = {}
+        self._last_sweep = 0.0
+        # Counters.
+        self.flowlets_created = 0
+        self.lookups = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Hashable, now: float) -> Tuple[Optional[int], int]:
+        """Touch the flow and return ``(port, flowlet_id)``.
+
+        ``port`` is None when this packet starts a *new* flowlet (first
+        packet of the flow, or idle gap exceeded); the caller must then pick
+        a path and call :meth:`assign`.  Otherwise the packet belongs to the
+        current flowlet and must stay on ``port``.
+        """
+        self.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            self._maybe_sweep(now)
+            return None, 0
+        if now - entry.last_seen > self.gap:
+            return None, entry.flowlet_id + 1
+        entry.last_seen = now
+        return entry.port, entry.flowlet_id
+
+    def assign(self, key: Hashable, port: int, now: float) -> int:
+        """Bind the flow's new flowlet to ``port``; returns the flowlet id."""
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _FlowletEntry(port, now)
+            self._entries[key] = entry
+        else:
+            entry.port = port
+            entry.flowlet_id += 1
+            entry.last_seen = now
+        self.flowlets_created += 1
+        return entry.flowlet_id
+
+    def reassign_ports(self, remap: Dict[int, int]) -> None:
+        """Rewrite stored ports after a discovery update (old -> new)."""
+        for entry in self._entries.values():
+            if entry.port in remap:
+                entry.port = remap[entry.port]
+
+    def _maybe_sweep(self, now: float) -> None:
+        """Drop long-idle flows so the table stays bounded."""
+        if now - self._last_sweep < self._evict_age or len(self._entries) < 1024:
+            return
+        cutoff = now - self._evict_age
+        stale = [key for key, entry in self._entries.items() if entry.last_seen < cutoff]
+        for key in stale:
+            del self._entries[key]
+        self._last_sweep = now

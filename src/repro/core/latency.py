@@ -1,0 +1,43 @@
+"""Clove-Latency: path-latency feedback instead of ECN or INT (Section 7).
+
+The paper's discussion section proposes a third congestion signal for
+environments where ECN is erratic and INT switches are not deployed yet:
+NIC-layer timestamping plus clock synchronization (IEEE 1588) lets the
+*receiving* virtual switch measure each packet's one-way forward latency
+and reflect the per-path maximum back to the sender, which then routes new
+flowlets onto the lowest-latency path.
+
+The plumbing mirrors Clove-INT: the reflected value rides the same STT
+context bits, and path selection is least-metric with aging + a local bump
+against herding — only the metric changes from utilization to delay.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.clove import CloveIntPolicy, CloveParams
+
+
+class CloveLatencyPolicy(CloveIntPolicy):
+    """Route new flowlets onto the path with the lowest echoed delay.
+
+    ``local_bump`` here is in *seconds* of assumed added delay per locally
+    placed flowlet (default: 10us, about one MTU serialization at 1G).
+    """
+
+    wants_int = False
+    wants_ecn = True       # keep the all-paths-congested guest relay
+    wants_latency = True
+
+    def __init__(
+        self,
+        params: Optional[CloveParams] = None,
+        hash_seed: int = 0,
+        local_bump: float = 10e-6,
+        tie_epsilon: float = 5e-6,
+    ) -> None:
+        super().__init__(params, hash_seed, local_bump=local_bump)
+        # Delay-scale metric: shrink the tie margin from utilization units
+        # (~0.05) to a few microseconds.
+        self.weights.tie_epsilon = tie_epsilon

@@ -1,0 +1,253 @@
+"""Weighted-round-robin path table with ECN-driven adaptation (Section 3.2).
+
+Per destination hypervisor, Clove keeps a set of encapsulation source ports
+(one per discovered path) with weights.  New flowlets rotate through the
+ports in weighted round-robin order.  On an ECN echo for a path, its weight
+is cut by a fixed proportion (a third by default) and the removed mass is
+spread equally over the currently-uncongested paths, so traffic drains away
+from hot paths within an RTT or two.
+
+The WRR itself is the "smooth" variant (interleaves choices rather than
+emitting runs), which matches rotating "through the ports ... according to
+the new set of weights".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.hypervisor.policy import PathTrace
+
+#: weights are never allowed to collapse entirely to zero
+_MIN_WEIGHT = 1e-4
+
+
+class _PathState:
+    __slots__ = ("port", "weight", "wrr_current", "congested_until", "util",
+                 "util_time", "trace")
+
+    def __init__(self, port: int, weight: float, trace: Optional[PathTrace]) -> None:
+        self.port = port
+        self.weight = weight
+        self.wrr_current = 0.0
+        self.congested_until = -1.0
+        self.util = 0.0
+        self.util_time = -1.0
+        self.trace = trace
+
+
+class WeightedPathTable:
+    """Path weights + smooth WRR for one source hypervisor.
+
+    ``congestion_expiry`` controls how long a path counts as "congested"
+    after an ECN echo — used both for redistribution (only uncongested paths
+    gain weight) and for the all-paths-congested guest relay decision.
+    """
+
+    def __init__(
+        self,
+        reduction_factor: float = 1.0 / 3.0,
+        congestion_expiry: float = 500e-6,
+        util_aging: float = 1e-3,
+        tie_epsilon: float = 0.05,
+    ) -> None:
+        if not 0.0 < reduction_factor < 1.0:
+            raise ValueError("reduction factor must be in (0, 1)")
+        self.reduction_factor = reduction_factor
+        self.congestion_expiry = congestion_expiry
+        #: estimates within this absolute margin of the minimum count as
+        #: tied in :meth:`least_utilized_port` (scale it to the metric:
+        #: ~0.05 for utilization, microseconds for latency)
+        self.tie_epsilon = tie_epsilon
+        #: time constant for decaying stale utilization estimates.  Without
+        #: aging, an abandoned path keeps its last (high) estimate forever
+        #: because only paths carrying traffic receive INT echoes.
+        self.util_aging = util_aging
+        #: dst_ip -> list of path states
+        self._paths: Dict[int, List[_PathState]] = {}
+        self._int_rotation: Dict[int, int] = {}
+        # Counters.
+        self.weight_reductions = 0
+
+    # ------------------------------------------------------------------
+    # Discovery interface
+    # ------------------------------------------------------------------
+    def set_paths(
+        self,
+        dst_ip: int,
+        ports: Sequence[int],
+        traces: Sequence[PathTrace] = (),
+    ) -> Dict[int, int]:
+        """Install/replace the port set towards ``dst_ip``.
+
+        State learned for a *path* survives a remapping of its port
+        (Section 3.1's optimization): if a trace in the new mapping matches
+        a trace in the old one, its weight and congestion state carry over.
+        Returns an ``old_port -> new_port`` remap for flowlet tables.
+        """
+        if not ports:
+            raise ValueError("need at least one port")
+        old = {state.trace: state for state in self._paths.get(dst_ip, []) if state.trace}
+        uniform = 1.0 / len(ports)
+        states: List[_PathState] = []
+        remap: Dict[int, int] = {}
+        for i, port in enumerate(ports):
+            trace = traces[i] if i < len(traces) else None
+            previous = old.get(trace) if trace else None
+            if previous is not None:
+                state = _PathState(port, previous.weight, trace)
+                state.congested_until = previous.congested_until
+                state.util = previous.util
+                if previous.port != port:
+                    remap[previous.port] = port
+            else:
+                state = _PathState(port, uniform, trace)
+            states.append(state)
+        self._normalize(states)
+        self._paths[dst_ip] = states
+        return remap
+
+    def set_static_weights(self, dst_ip: int, weights: Sequence[float]) -> None:
+        """Overwrite weights index-aligned with the installed ports.
+
+        Used by Presto's benefit-of-the-doubt configuration, where an
+        (idealized) controller supplies topology-derived path weights.
+        """
+        states = self._paths.get(dst_ip)
+        if not states:
+            raise KeyError(f"no paths for destination {dst_ip}")
+        for i, state in enumerate(states):
+            if i < len(weights):
+                state.weight = max(float(weights[i]), _MIN_WEIGHT)
+        self._normalize(states)
+
+    def has_paths(self, dst_ip: int) -> bool:
+        """Whether a port set has been installed for ``dst_ip``."""
+        return bool(self._paths.get(dst_ip))
+
+    def ports_for(self, dst_ip: int) -> List[int]:
+        """The installed ports towards ``dst_ip`` (empty if none)."""
+        return [state.port for state in self._paths.get(dst_ip, [])]
+
+    def weights_for(self, dst_ip: int) -> Dict[int, float]:
+        """Current ``{port: weight}`` mapping towards ``dst_ip``."""
+        return {s.port: s.weight for s in self._paths.get(dst_ip, [])}
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def next_port(self, dst_ip: int) -> int:
+        """Smooth-WRR pick for a new flowlet towards ``dst_ip``."""
+        states = self._paths.get(dst_ip)
+        if not states:
+            raise KeyError(f"no paths for destination {dst_ip}")
+        total = 0.0
+        best: Optional[_PathState] = None
+        for state in states:
+            state.wrr_current += state.weight
+            total += state.weight
+            if best is None or state.wrr_current > best.wrr_current:
+                best = state
+        assert best is not None
+        best.wrr_current -= total
+        return best.port
+
+    def least_utilized_port(
+        self,
+        dst_ip: int,
+        now: Optional[float] = None,
+        tie_epsilon: Optional[float] = None,
+    ) -> int:
+        """Clove-INT pick: the path with the lowest echoed utilization.
+
+        Estimates are exponentially aged with ``util_aging`` so an abandoned
+        path becomes attractive again once its last echo goes stale.  Paths
+        whose estimates are within ``tie_epsilon`` of the minimum count as
+        tied and are taken round-robin — deterministic tie-breaking would
+        herd every source onto one path whenever estimates equalize (e.g.
+        when a shared last-hop link dominates all of them).
+        """
+        states = self._paths.get(dst_ip)
+        if not states:
+            raise KeyError(f"no paths for destination {dst_ip}")
+        epsilon = tie_epsilon if tie_epsilon is not None else self.tie_epsilon
+        utils = [self._aged_util(s, now) for s in states]
+        lowest = min(utils)
+        tied = [i for i, u in enumerate(utils) if u <= lowest + epsilon]
+        if len(tied) == 1:
+            return states[tied[0]].port
+        rotation = self._int_rotation.get(dst_ip, 0)
+        self._int_rotation[dst_ip] = rotation + 1
+        return states[tied[rotation % len(tied)]].port
+
+    def _aged_util(self, state: _PathState, now: Optional[float]) -> float:
+        if now is None or state.util_time < 0 or self.util_aging <= 0:
+            return state.util
+        return state.util * math.exp(-(now - state.util_time) / self.util_aging)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def mark_congested(self, dst_ip: int, port: int, now: float) -> None:
+        """ECN echo for ``port``: cut its weight, spread mass elsewhere."""
+        states = self._paths.get(dst_ip)
+        if not states:
+            return
+        target = next((s for s in states if s.port == port), None)
+        if target is None:
+            return
+        target.congested_until = now + self.congestion_expiry
+        removed = target.weight * self.reduction_factor
+        target.weight -= removed
+        beneficiaries = [
+            s for s in states if s is not target and s.congested_until <= now
+        ]
+        if not beneficiaries:
+            beneficiaries = [s for s in states if s is not target]
+        if beneficiaries:
+            share = removed / len(beneficiaries)
+            for state in beneficiaries:
+                state.weight += share
+        else:
+            target.weight += removed  # single-path destination: no-op
+        self._normalize(states)
+        self.weight_reductions += 1
+
+    def util_of(self, dst_ip: int, port: int) -> float:
+        """Latest recorded utilization for one path (0.0 when unknown)."""
+        for state in self._paths.get(dst_ip, []):
+            if state.port == port:
+                return state.util
+        return 0.0
+
+    def record_util(
+        self, dst_ip: int, port: int, util: float, now: Optional[float] = None
+    ) -> None:
+        """INT echo: remember the latest max path utilization."""
+        states = self._paths.get(dst_ip)
+        if not states:
+            return
+        for state in states:
+            if state.port == port:
+                state.util = util
+                if now is not None:
+                    state.util_time = now
+                return
+
+    def all_congested(self, dst_ip: int, now: float) -> bool:
+        """True when every path to ``dst_ip`` is marked congested."""
+        states = self._paths.get(dst_ip)
+        if not states:
+            return False
+        return all(state.congested_until > now for state in states)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalize(states: List[_PathState]) -> None:
+        for state in states:
+            if state.weight < _MIN_WEIGHT:
+                state.weight = _MIN_WEIGHT
+        total = sum(state.weight for state in states)
+        for state in states:
+            state.weight /= total

@@ -1,0 +1,20 @@
+"""Experiment assembly, load sweeps and per-figure tables."""
+
+from repro.harness.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    SCHEMES,
+    run_experiment,
+    estimate_rtt,
+)
+from repro.harness.sweep import sweep_loads, average_over_seeds
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "SCHEMES",
+    "run_experiment",
+    "estimate_rtt",
+    "sweep_loads",
+    "average_over_seeds",
+]

@@ -1,0 +1,270 @@
+"""Per-figure reproduction drivers.
+
+One function per table/figure of the paper's evaluation (Sections 5 and 6).
+Each returns the figure's data series and can render the text table the
+benchmarks print.  Quality knobs (loads, seeds, jobs per client) default to
+CI-speed settings; pass larger values to approach the paper's statistics.
+
+The experiment index in DESIGN.md maps each function to its paper figure;
+EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    default_topology,
+    run_experiment,
+)
+from repro.harness.sweep import sweep_loads
+
+#: schemes of the testbed comparison (Figures 4-6)
+TESTBED_SCHEMES = ("ecmp", "edge-flowlet", "clove-ecn", "mptcp", "presto")
+#: schemes of the NS2 comparison (Figures 8-9)
+SIM_SCHEMES = ("ecmp", "edge-flowlet", "clove-ecn", "clove-int", "conga")
+
+
+@dataclass
+class FigureQuality:
+    """How much statistical effort to spend on a figure."""
+
+    loads: Sequence[float] = (0.3, 0.5, 0.7, 0.8)
+    seeds: Sequence[int] = (1, 2)
+    jobs_per_client: int = 60
+
+    def base(self, **overrides) -> ExperimentConfig:
+        """An ExperimentConfig carrying this quality's job count."""
+        return ExperimentConfig(jobs_per_client=self.jobs_per_client, **overrides)
+
+
+Series = Dict[str, List[Tuple[float, float]]]
+
+
+# ----------------------------------------------------------------------
+# Figure 4b / 4c — testbed average FCT vs load
+# ----------------------------------------------------------------------
+def fig4b(quality: Optional[FigureQuality] = None) -> Series:
+    """Symmetric topology, average FCT vs network load (testbed schemes)."""
+    q = quality or FigureQuality()
+    return sweep_loads(q.base(asymmetric=False), TESTBED_SCHEMES, q.loads, q.seeds)
+
+
+def fig4c(quality: Optional[FigureQuality] = None) -> Series:
+    """Asymmetric topology (one S2-L2 cable down), average FCT vs load."""
+    q = quality or FigureQuality()
+    return sweep_loads(q.base(asymmetric=True), TESTBED_SCHEMES, q.loads, q.seeds)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — FCT breakdown under asymmetry
+# ----------------------------------------------------------------------
+#: the paper buckets against full-size flows; scaled by flow_scale at run time
+MICE_CUTOFF_BYTES = 100 * 1000
+ELEPHANT_CUTOFF_BYTES = 10 * 1000 * 1000
+
+
+def _bucket_metric(kind: str):
+    def metric(result: ExperimentResult) -> float:
+        scale = result.config.flow_scale
+        if kind == "mice":
+            summary = result.collector.summary(max_size=int(MICE_CUTOFF_BYTES * scale))
+            return summary.mean if summary else float("nan")
+        if kind == "elephants":
+            summary = result.collector.summary(
+                min_size=int(ELEPHANT_CUTOFF_BYTES * scale)
+            )
+            return summary.mean if summary else float("nan")
+        summary = result.collector.summary()
+        return summary.p99 if summary else float("nan")
+    return metric
+
+
+def fig5(kind: str, quality: Optional[FigureQuality] = None) -> Series:
+    """FCT breakdown on the asymmetric testbed.
+
+    ``kind``: "mice" (Fig 5a, <100KB flows), "elephants" (Fig 5b, >10MB
+    flows) or "p99" (Fig 5c, 99th-percentile FCT).
+    """
+    if kind not in ("mice", "elephants", "p99"):
+        raise ValueError(f"unknown breakdown {kind!r}")
+    q = quality or FigureQuality()
+    return sweep_loads(
+        q.base(asymmetric=True), TESTBED_SCHEMES, q.loads, q.seeds,
+        metric=_bucket_metric(kind),
+    )
+
+
+def fig5_all(quality: Optional[FigureQuality] = None) -> Dict[str, Series]:
+    """All three Figure 5 panels from ONE sweep (each run yields every
+    bucket's statistics, so re-sweeping per panel would triple the cost)."""
+    q = quality or FigureQuality()
+    metrics = {kind: _bucket_metric(kind) for kind in ("mice", "elephants", "p99")}
+    panels: Dict[str, Series] = {kind: {} for kind in metrics}
+    for scheme in TESTBED_SCHEMES:
+        points: Dict[str, List[Tuple[float, float]]] = {k: [] for k in metrics}
+        for load in q.loads:
+            sums = {k: 0.0 for k in metrics}
+            for seed in q.seeds:
+                result = run_experiment(
+                    q.base(scheme=scheme, asymmetric=True, load=load, seed=seed)
+                )
+                for kind, metric in metrics.items():
+                    sums[kind] += metric(result)
+            for kind in metrics:
+                points[kind].append((load, sums[kind] / len(q.seeds)))
+        for kind in metrics:
+            panels[kind][scheme] = points[kind]
+    return panels
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — Clove-ECN parameter sensitivity
+# ----------------------------------------------------------------------
+def fig6(quality: Optional[FigureQuality] = None) -> Series:
+    """Clove-ECN under (flowlet-gap, ECN-threshold) variations, asymmetric.
+
+    The paper's four settings: best (1xRTT, 20 pkts), low gap (0.2xRTT),
+    high gap (5xRTT), high threshold (40 pkts).
+    """
+    q = quality or FigureQuality()
+    variants = {
+        "clove-best(1RTT,20p)": (1.0, 20),
+        "clove(0.2RTT,20p)": (0.2, 20),
+        "clove(5RTT,20p)": (5.0, 20),
+        "clove(1RTT,40p)": (1.0, 40),
+    }
+    series: Series = {}
+    topo = default_topology()
+    for label, (gap_rtt, threshold) in variants.items():
+        points = []
+        for load in q.loads:
+            values = []
+            for seed in q.seeds:
+                config = q.base(
+                    scheme="clove-ecn",
+                    asymmetric=True,
+                    load=load,
+                    seed=seed,
+                    flowlet_gap_rtt=gap_rtt,
+                    topology=replace(topo, ecn_threshold_packets=threshold),
+                )
+                values.append(run_experiment(config).avg_fct)
+            points.append((load, sum(values) / len(values)))
+        series[label] = points
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 7 — incast throughput vs request fan-in
+# ----------------------------------------------------------------------
+def fig7(
+    fanouts: Sequence[int] = (1, 3, 5, 7),
+    seeds: Sequence[int] = (1,),
+    n_requests: int = 20,
+    total_bytes: int = 1_000_000,
+) -> Series:
+    """Client goodput under partition-aggregate incast (Section 5.3).
+
+    The paper requests 10MB split over ``n`` servers per round; the default
+    here scales the request to 1MB for CI speed (same fan-in dynamics).
+    """
+    from repro.harness.incast import run_incast
+
+    series: Series = {}
+    for scheme in ("clove-ecn", "edge-flowlet", "mptcp"):
+        points = []
+        for fanout in fanouts:
+            values = []
+            for seed in seeds:
+                values.append(
+                    run_incast(
+                        scheme=scheme,
+                        fanout=fanout,
+                        seed=seed,
+                        n_requests=n_requests,
+                        total_bytes=total_bytes,
+                    )
+                )
+            points.append((float(fanout), sum(values) / len(values)))
+        series[scheme] = points
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — NS2-style simulation comparison (adds Clove-INT and CONGA)
+# ----------------------------------------------------------------------
+def fig8a(quality: Optional[FigureQuality] = None) -> Series:
+    """Simulation, symmetric: ECMP/Edge-Flowlet/Clove-ECN/Clove-INT/CONGA."""
+    q = quality or FigureQuality()
+    return sweep_loads(q.base(asymmetric=False), SIM_SCHEMES, q.loads, q.seeds)
+
+
+def fig8b(quality: Optional[FigureQuality] = None) -> Series:
+    """Simulation, asymmetric: the paper's 80%-capture headline figure."""
+    q = quality or FigureQuality()
+    return sweep_loads(q.base(asymmetric=True), SIM_SCHEMES, q.loads, q.seeds)
+
+
+def capture_ratios(series: Series, load: float) -> Dict[str, float]:
+    """Fraction of the ECMP->CONGA FCT gain each scheme captures at ``load``.
+
+    The paper's headline: Edge-Flowlet ~40%, Clove-ECN ~80%, Clove-INT ~95%.
+    """
+    def value(scheme: str) -> float:
+        for l, v in series[scheme]:
+            if abs(l - load) < 1e-9:
+                return v
+        raise KeyError(f"load {load} not in series for {scheme}")
+
+    ecmp = value("ecmp")
+    conga = value("conga")
+    gain = ecmp - conga
+    if gain <= 0:
+        return {s: float("nan") for s in series if s not in ("ecmp", "conga")}
+    return {
+        scheme: (ecmp - value(scheme)) / gain
+        for scheme in series
+        if scheme not in ("ecmp", "conga")
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 9 — CDF of mice FCTs at 70% load, asymmetric
+# ----------------------------------------------------------------------
+def fig9(
+    load: float = 0.7,
+    seed: int = 1,
+    jobs_per_client: int = 60,
+    schemes: Sequence[str] = ("ecmp", "clove-ecn", "conga"),
+) -> Dict[str, List[Tuple[float, float]]]:
+    """CDFs of mice-flow completion times on the asymmetric topology."""
+    cdfs = {}
+    for scheme in schemes:
+        result = run_experiment(
+            ExperimentConfig(
+                scheme=scheme, load=load, seed=seed,
+                asymmetric=True, jobs_per_client=jobs_per_client,
+            )
+        )
+        cutoff = int(MICE_CUTOFF_BYTES * result.config.flow_scale)
+        cdfs[scheme] = result.collector.cdf(max_size=cutoff, points=50)
+    return cdfs
+
+
+def fig9_percentiles(
+    cdfs: Dict[str, List[Tuple[float, float]]], q: float = 0.99
+) -> Dict[str, float]:
+    """Extract a percentile from each scheme's CDF (as the paper quotes)."""
+    out = {}
+    for scheme, points in cdfs.items():
+        value = points[-1][0]
+        for fct, frac in points:
+            if frac >= q:
+                value = fct
+                break
+        out[scheme] = value
+    return out

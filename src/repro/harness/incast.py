@@ -1,0 +1,111 @@
+"""Incast experiment assembly (Figure 7 / Section 5.3)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.clove import CloveParams
+from repro.core.discovery import DiscoveryConfig, PathDiscovery
+from repro.harness.experiment import (
+    ExperimentConfig,
+    _make_policy,
+    default_topology,
+    estimate_rtt,
+)
+from repro.hypervisor.host import Host
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.topology.leafspine import build_leaf_spine
+from repro.transport.mptcp import open_mptcp_connection
+from repro.transport.tcp import open_connection
+from repro.workloads.incast import IncastConfig, IncastWorkload
+
+
+def run_incast(
+    scheme: str = "clove-ecn",
+    fanout: int = 8,
+    seed: int = 1,
+    n_requests: int = 20,
+    total_bytes: int = 1_000_000,
+    mptcp_subflows: int = 4,
+    min_rto: float = 5e-3,
+) -> float:
+    """Run the partition-aggregate workload; returns client goodput (bps).
+
+    One client on leaf 1 requests ``total_bytes`` split over ``fanout``
+    servers on leaf 2, repeatedly; all servers respond simultaneously,
+    stressing the client's access link exactly as in the paper's incast
+    experiment.
+    """
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    topo = default_topology()
+    net = build_leaf_spine(sim, rng, topo)
+    rtt = estimate_rtt(topo)
+    config = ExperimentConfig(scheme=scheme, seed=seed, mptcp_subflows=mptcp_subflows)
+    params = CloveParams(
+        flowlet_gap=config.flowlet_gap_rtt * rtt,
+        weight_reduction=config.weight_reduction,
+        congestion_expiry=config.congestion_expiry_rtt * rtt,
+        util_aging=10 * rtt,
+    )
+    discovery_cfg = DiscoveryConfig(
+        k_paths=4, n_candidate_ports=24, max_ttl=5,
+        round_timeout=max(20 * rtt, 1e-3), probe_interval=1.0,
+    )
+    hosts: Dict[str, Host] = {}
+    for index, name in enumerate(sorted(net.hosts)):
+        policy = _make_policy(config, rng, net, index, params)
+        host = Host(
+            sim, net, name, policy,
+            ecn_relay_interval=config.ecn_relay_interval_rtt * rtt,
+            reassembly_timeout=max(2 * rtt, 50e-6),
+        )
+        if policy is not None and policy.needs_discovery():
+            def _on_update(dst_ip, ports, traces, _policy=policy):
+                _policy.set_paths(dst_ip, ports, traces)
+            host.prober = PathDiscovery(
+                sim, host, rng.stream(f"discovery-{name}"),
+                config=discovery_cfg, on_update=_on_update,
+            )
+        hosts[name] = host
+
+    client = hosts["h1_0"]
+    servers = [hosts[n] for n in sorted(hosts) if n.startswith("h2_")]
+
+    port_counter = [30000]
+
+    def factory(server: Host, dst_client: Host, index: int):
+        port_counter[0] += 16
+        if scheme == "mptcp":
+            return open_mptcp_connection(
+                server, dst_client, port_counter[0], 80,
+                n_subflows=mptcp_subflows, min_rto=min_rto,
+            )
+        return open_connection(server, dst_client, port_counter[0], 80, min_rto=min_rto)
+
+    # Pre-warm discovery both directions for every server.
+    for server in servers:
+        if server.prober is not None:
+            server.prober.notice_destination(client.ip)
+        if client.prober is not None:
+            client.prober.notice_destination(server.ip)
+
+    workload = IncastWorkload(
+        sim, rng, client, servers,
+        IncastConfig(
+            total_bytes=total_bytes,
+            fanout=fanout,
+            n_requests=n_requests,
+            start_time=0.02,
+        ),
+        factory,
+    )
+    finished = []
+    workload.start(lambda: finished.append(sim.now))
+    # Run until all requests complete (bounded safety horizon).
+    while not finished and sim.now < 120.0:
+        sim.run(until=sim.now + 0.1)
+        if sim.peek_time() is None:
+            break
+    return workload.goodput_bps()

@@ -1,0 +1,79 @@
+"""Parameter sweeps: (scheme x load x seed) grids with aggregation.
+
+The paper runs each point with three random seeds and reports the average;
+:func:`average_over_seeds` reproduces that protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+#: metric extractor: result -> float
+Metric = Callable[[ExperimentResult], float]
+
+
+def avg_fct(result: ExperimentResult) -> float:
+    """Metric extractor: a run's mean flow completion time."""
+    return result.avg_fct
+
+
+def p99_fct(result: ExperimentResult) -> float:
+    """Metric extractor: a run's 99th-percentile FCT."""
+    return result.p99_fct
+
+
+def average_over_seeds(
+    base: ExperimentConfig,
+    seeds: Sequence[int],
+    metric: Metric = avg_fct,
+) -> float:
+    """Run ``base`` once per seed and average the metric (paper protocol)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values = []
+    for seed in seeds:
+        result = run_experiment(replace(base, seed=seed))
+        values.append(metric(result))
+    return sum(values) / len(values)
+
+
+def sweep_loads(
+    base: ExperimentConfig,
+    schemes: Sequence[str],
+    loads: Sequence[float],
+    seeds: Sequence[int] = (1,),
+    metric: Metric = avg_fct,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Produce {scheme: [(load, metric), ...]} — one figure's line series."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for scheme in schemes:
+        points: List[Tuple[float, float]] = []
+        for load in loads:
+            value = average_over_seeds(
+                replace(base, scheme=scheme, load=load), seeds, metric
+            )
+            points.append((load, value))
+        series[scheme] = points
+    return series
+
+
+def format_series_table(
+    series: Dict[str, List[Tuple[float, float]]],
+    metric_name: str = "avg FCT (s)",
+    scale: float = 1.0,
+) -> str:
+    """Render a sweep as the text table the benchmarks print."""
+    schemes = list(series)
+    loads = [load for load, _ in next(iter(series.values()))]
+    header = ["load(%)"] + schemes
+    lines = ["  ".join(f"{h:>14}" for h in header)]
+    for i, load in enumerate(loads):
+        row = [f"{load * 100:>14.0f}"]
+        for scheme in schemes:
+            row.append(f"{series[scheme][i][1] * scale:>14.4f}")
+        lines.append("  ".join(row))
+    lines.append(f"(metric: {metric_name})")
+    return "\n".join(lines)

@@ -1,0 +1,15 @@
+"""The hypervisor edge: hosts, virtual switches and the LB plug-in point.
+
+Each simulated :class:`~repro.hypervisor.host.Host` is a hypervisor with one
+guest stack.  Its :class:`~repro.hypervisor.vswitch.VSwitch` encapsulates
+guest traffic STT-style, lets a pluggable
+:class:`~repro.hypervisor.policy.LoadBalancer` choose the outer source port
+(the paper's indirect source routing), reflects ECN/INT telemetry back to
+senders in the STT context bits, and masks underlay ECN from guests.
+"""
+
+from repro.hypervisor.policy import LoadBalancer, PathFeedback
+from repro.hypervisor.vswitch import VSwitch
+from repro.hypervisor.host import Host
+
+__all__ = ["LoadBalancer", "PathFeedback", "VSwitch", "Host"]

@@ -1,0 +1,114 @@
+"""A host = hypervisor + one guest network stack.
+
+The host owns the NIC (the access link into its leaf switch), a
+:class:`~repro.hypervisor.vswitch.VSwitch`, a transport demux table for its
+guest connections, and optionally a traceroute daemon
+(:class:`~repro.core.discovery.PathDiscovery`) feeding the vswitch policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.net.packet import FlowKey, Packet
+from repro.hypervisor.policy import LoadBalancer
+from repro.hypervisor.vswitch import VSwitch
+from repro.sim.engine import Simulator
+from repro.topology.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.discovery import PathDiscovery
+
+
+class Host:
+    """A simulated server (hypervisor + guest stack)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        name: str,
+        policy: Optional[LoadBalancer] = None,
+        ecn_relay_interval: float = 0.0,
+        reassembly_timeout: float = 2e-3,
+        vswitch_mode: str = "overlay",
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.name = name
+        self.ip = net.host_ip(name)
+        self.vswitch = VSwitch(
+            sim, self, policy, ecn_relay_interval,
+            reassembly_timeout=reassembly_timeout,
+            mode=vswitch_mode,
+        )
+        self._uplink = net.host_link(name)
+        self._endpoints: Dict[FlowKey, object] = {}
+        self.prober: Optional["PathDiscovery"] = None
+        self.rx_packets = 0
+        net.register_host_receiver(name, self.receive)
+
+    # ------------------------------------------------------------------
+    # Guest-side API
+    # ------------------------------------------------------------------
+    def register_endpoint(self, key: FlowKey, endpoint: object) -> None:
+        """Demux registration: packets whose inner 5-tuple equals ``key``
+        are delivered to ``endpoint.on_packet``."""
+        self._endpoints[key] = endpoint
+
+    def unregister_endpoint(self, key: FlowKey) -> None:
+        """Remove a demux registration (no-op if absent)."""
+        self._endpoints.pop(key, None)
+
+    def send_from_guest(self, packet: Packet) -> None:
+        """Guest stack transmits: route through the virtual switch."""
+        if self.prober is not None:
+            self.prober.notice_destination(packet.inner.dst_ip)
+        self.vswitch.transmit(packet)
+
+    def deliver_to_guest(self, packet: Packet) -> None:
+        """Hand a decapsulated packet to the guest transport demux."""
+        endpoint = self._endpoints.get(packet.inner)
+        if endpoint is not None:
+            endpoint.on_packet(packet)
+
+    # ------------------------------------------------------------------
+    # NIC
+    # ------------------------------------------------------------------
+    def nic_send(self, packet: Packet) -> None:
+        """Put a (possibly encapsulated) packet on the access link."""
+        self._uplink.send(packet)
+
+    def receive(self, packet: Packet) -> None:
+        """NIC receive path: demux control traffic, tunnels, plain packets."""
+        self.rx_packets += 1
+        meta = packet.meta
+        if meta:
+            if "icmp" in meta and self.prober is not None:
+                self.prober.on_icmp(packet)
+                return
+            if "probe_reply" in meta and self.prober is not None:
+                self.prober.on_probe_reply(packet)
+                return
+            if "probe" in meta:
+                self._answer_probe(packet)
+                return
+        if packet.outer is not None:
+            self.vswitch.receive_encapsulated(packet)
+        elif "clove_orig_sport" in packet.meta:
+            self.vswitch.receive_rewritten(packet)
+        else:
+            self.deliver_to_guest(packet)
+
+    def _answer_probe(self, probe: Packet) -> None:
+        """A traceroute probe reached us: confirm the full path to its
+        sender (the equivalent of the final hop answering)."""
+        key = probe.route_key
+        reply = Packet(FlowKey(self.ip, key.src_ip, 0, 0, 17), payload_bytes=28,
+                       created_at=self.sim.now)
+        reply.meta["probe_reply"] = probe.meta["probe"]
+        reply.meta["probe_sport"] = key.src_port
+        self.nic_send(reply)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name}, ip={self.ip})"

@@ -1,0 +1,308 @@
+"""The hypervisor virtual switch (the paper's OVS datapath).
+
+Transmit side (guest -> fabric):
+
+1. ask the :class:`~repro.hypervisor.policy.LoadBalancer` for an outer
+   source port (the indirect-source-routing knob);
+2. encapsulate with an STT-style header (fixed destination port, hypervisor
+   IPs, ECT set when the policy uses ECN, INT requested when it uses INT);
+3. piggyback at most one pending telemetry echo for the destination
+   hypervisor in the STT context bits.
+
+Receive side (fabric -> guest):
+
+1. decapsulate; observe outer CE / INT metadata and queue it for
+   reflection back to the sender (rate-limited per path for ECN — the
+   "ECN relay frequency" of Section 3.2);
+2. consume any echo carried on the packet and hand it to the local policy;
+3. mask underlay ECN from the guest — unless the policy reports *all*
+   paths congested, in which case ECE is injected into ACKs so the guest
+   TCP throttles (Section 3.2);
+4. optionally run Presto-style in-order reassembly before delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.net.packet import FlowKey, Packet, STT_DST_PORT
+from repro.hypervisor.policy import LoadBalancer, PathFeedback
+from repro.sim.engine import Simulator
+from repro.transport.tcp import FLAG_ECE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.host import Host
+
+
+class _PathEchoState:
+    """Pending telemetry to reflect to one remote hypervisor, per port."""
+
+    __slots__ = ("ecn_pending", "last_ecn_relay", "util", "util_fresh")
+
+    def __init__(self) -> None:
+        self.ecn_pending = False
+        self.last_ecn_relay = -1e9
+        self.util: float = 0.0
+        self.util_fresh = False
+
+
+class _ReassemblyBuffer:
+    """Per-flow in-order delivery buffer (Presto's receiver logic)."""
+
+    __slots__ = ("expected", "segments", "flush_event")
+
+    def __init__(self) -> None:
+        self.expected: Optional[int] = None
+        self.segments: Dict[int, Packet] = {}
+        self.flush_event = None
+
+
+class VSwitch:
+    """Per-hypervisor virtual switch with a pluggable load balancer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: "Host",
+        policy: Optional[LoadBalancer],
+        ecn_relay_interval: float = 0.0,
+        reassembly_timeout: float = 2e-3,
+        reassembly_limit: int = 128,
+        mode: str = "overlay",
+    ) -> None:
+        if mode not in ("overlay", "rewrite"):
+            raise ValueError(f"unknown vswitch mode {mode!r}")
+        self.sim = sim
+        self.host = host
+        self.policy = policy
+        #: "overlay" = STT encapsulation (the paper's main deployment);
+        #: "rewrite" = the Section 7 non-overlay "hidden overlay": the
+        #: source port is rewritten in place and the original value hidden
+        #: in (what stands for) TCP option space, restored at the far end.
+        self.mode = mode
+        #: min seconds between ECN relays for the same path (½RTT in paper).
+        self.ecn_relay_interval = ecn_relay_interval
+        self.reassembly_timeout = reassembly_timeout
+        self.reassembly_limit = reassembly_limit
+        #: remote hypervisor ip -> port -> pending echo state
+        self._echo: Dict[int, Dict[int, _PathEchoState]] = {}
+        self._echo_rotation: Dict[int, int] = {}
+        self._reassembly: Dict[FlowKey, _ReassemblyBuffer] = {}
+        # Counters.
+        self.tx_encapsulated = 0
+        self.rx_encapsulated = 0
+        self.echoes_sent = 0
+        self.echoes_received = 0
+        self.guest_ecn_injected = 0
+
+    # ------------------------------------------------------------------
+    # Transmit path
+    # ------------------------------------------------------------------
+    def transmit(self, packet: Packet) -> None:
+        """Encapsulate (or rewrite) a guest packet and hand it to the NIC."""
+        if self.policy is None:
+            self.host.nic_send(packet)  # non-overlay pass-through
+            return
+        if self.mode == "rewrite":
+            self._transmit_rewrite(packet)
+            return
+        dst_hyp = packet.inner.dst_ip
+        sport = self.policy.select_source_port(packet.inner, packet, self.sim.now)
+        outer = FlowKey(self.host.ip, dst_hyp, sport, STT_DST_PORT)
+        packet.encapsulate(outer, ect=self.policy.wants_ecn)
+        if self.policy.wants_int:
+            packet.int_enabled = True
+        if getattr(self.policy, "wants_latency", False):
+            # Stand-in for the NIC timestamp of Section 7 (perfectly
+            # synchronized clocks in simulation).
+            packet.meta["clove_ts"] = self.sim.now
+        self._attach_echo(packet, dst_hyp)
+        self.tx_encapsulated += 1
+        self.host.nic_send(packet)
+
+    def _transmit_rewrite(self, packet: Packet) -> None:
+        """Section 7 non-overlay mode: rewrite the source port in place.
+
+        The original value travels in (what models) TCP option space and
+        the destination vswitch restores it before delivery, keeping the
+        guest stacks entirely unaware.
+        """
+        inner = packet.inner
+        sport = self.policy.select_source_port(inner, packet, self.sim.now)
+        packet.meta["clove_orig_sport"] = inner.src_port
+        packet.inner = FlowKey(
+            inner.src_ip, inner.dst_ip, sport, inner.dst_port, inner.proto
+        )
+        packet.ect = self.policy.wants_ecn
+        if getattr(self.policy, "wants_latency", False):
+            packet.meta["clove_ts"] = self.sim.now
+        self._attach_echo(packet, inner.dst_ip)
+        self.tx_encapsulated += 1
+        self.host.nic_send(packet)
+
+    def receive_rewritten(self, packet: Packet) -> None:
+        """Restore a rewritten packet and run the same telemetry steps."""
+        self.rx_encapsulated += 1
+        remote = packet.inner.src_ip
+        path_port = packet.inner.src_port
+        original_sport = packet.meta.pop("clove_orig_sport")
+        packet.inner = FlowKey(
+            remote, packet.inner.dst_ip, original_sport,
+            packet.inner.dst_port, packet.inner.proto,
+        )
+        self._collect_and_deliver(packet, remote, path_port)
+
+    def _attach_echo(self, packet: Packet, dst_hyp: int) -> None:
+        """Piggyback one pending telemetry item for ``dst_hyp``, if any."""
+        states = self._echo.get(dst_hyp)
+        if not states:
+            return
+        ports = sorted(states)
+        start = self._echo_rotation.get(dst_hyp, 0)
+        now = self.sim.now
+        for i in range(len(ports)):
+            port = ports[(start + i) % len(ports)]
+            state = states[port]
+            if state.ecn_pending and now - state.last_ecn_relay >= self.ecn_relay_interval:
+                packet.stt_echo_port = port
+                packet.stt_echo_ecn = True
+                packet.stt_echo_util = state.util if state.util_fresh else None
+                state.ecn_pending = False
+                state.util_fresh = False
+                state.last_ecn_relay = now
+                self._echo_rotation[dst_hyp] = (start + i + 1) % len(ports)
+                self.echoes_sent += 1
+                return
+            if state.util_fresh:
+                packet.stt_echo_port = port
+                packet.stt_echo_ecn = False
+                packet.stt_echo_util = state.util
+                state.util_fresh = False
+                self._echo_rotation[dst_hyp] = (start + i + 1) % len(ports)
+                self.echoes_sent += 1
+                return
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def receive_encapsulated(self, packet: Packet) -> None:
+        """Process a tunnelled packet arriving from the fabric."""
+        self.rx_encapsulated += 1
+        outer = packet.decapsulate()
+        self._collect_and_deliver(packet, outer.src_ip, outer.src_port)
+
+    def _collect_and_deliver(self, packet: Packet, remote: int, path_port: int) -> None:
+        """Shared receive tail: telemetry, echoes, masking, delivery."""
+        # (1) queue telemetry about the forward path (remote -> us) for
+        # reflection back to the remote.
+        state = self._echo.setdefault(remote, {}).get(path_port)
+        if state is None:
+            state = _PathEchoState()
+            self._echo[remote][path_port] = state
+        if packet.ce:
+            state.ecn_pending = True
+        if packet.int_enabled:
+            state.util = packet.int_max_util
+            state.util_fresh = True
+        sent_at = packet.meta.pop("clove_ts", None)
+        if sent_at is not None:
+            # Section 7 latency mode: reflect the measured one-way delay in
+            # the same context slot INT utilization uses.
+            state.util = self.sim.now - sent_at
+            state.util_fresh = True
+
+        # (2) consume any echo the remote attached about our forward paths.
+        if self.policy is not None and packet.stt_echo_port is not None:
+            self.echoes_received += 1
+            self.policy.on_path_feedback(
+                PathFeedback(
+                    dst_ip=remote,
+                    port=packet.stt_echo_port,
+                    congested=packet.stt_echo_ecn,
+                    util=packet.stt_echo_util,
+                ),
+                self.sim.now,
+            )
+
+        # (3) mask underlay ECN from the guest; inject ECE only when every
+        # path to the remote is congested.
+        packet.ce = False
+        packet.ect = False
+        packet.int_enabled = False
+        if (
+            self.policy is not None
+            and packet.is_ack
+            and self.policy.all_paths_congested(remote, self.sim.now)
+        ):
+            if FLAG_ECE not in packet.flags:
+                packet.flags += FLAG_ECE
+                self.guest_ecn_injected += 1
+
+        # (4) deliver (optionally through Presto reassembly).
+        if (
+            self.policy is not None
+            and self.policy.needs_reassembly
+            and packet.payload_bytes > 0
+        ):
+            self._reassemble(packet)
+        else:
+            self.host.deliver_to_guest(packet)
+
+    # ------------------------------------------------------------------
+    # Presto flowcell reassembly
+    # ------------------------------------------------------------------
+    def _reassemble(self, packet: Packet) -> None:
+        buffer = self._reassembly.get(packet.inner)
+        if buffer is None:
+            buffer = _ReassemblyBuffer()
+            self._reassembly[packet.inner] = buffer
+        if buffer.expected is None:
+            buffer.expected = packet.seq
+        if packet.seq < buffer.expected:
+            # Retransmission of already-delivered data: pass straight up.
+            self.host.deliver_to_guest(packet)
+            return
+        buffer.segments[packet.seq] = packet
+        self._drain(packet.inner, buffer)
+        if buffer.segments and len(buffer.segments) >= self.reassembly_limit:
+            self._flush(packet.inner, buffer)
+        elif buffer.segments and buffer.flush_event is None:
+            buffer.flush_event = self.sim.schedule(
+                self.reassembly_timeout, self._on_flush_timer, packet.inner
+            )
+
+    def _drain(self, flow: FlowKey, buffer: _ReassemblyBuffer) -> None:
+        """Deliver the in-order prefix of buffered segments."""
+        while buffer.expected in buffer.segments:
+            segment = buffer.segments.pop(buffer.expected)
+            buffer.expected += segment.payload_bytes
+            self.host.deliver_to_guest(segment)
+        if not buffer.segments and buffer.flush_event is not None:
+            buffer.flush_event.cancel()
+            buffer.flush_event = None
+
+    def _flush(self, flow: FlowKey, buffer: _ReassemblyBuffer) -> None:
+        """Give up on the gap: deliver everything buffered, in seq order.
+
+        The guest TCP's own dupack/retransmit machinery then recovers the
+        hole — this matches Presto's loss-recovery escape hatch.  Reassembly
+        re-syncs to the tail of what was flushed, so the retransmitted hole
+        (seq below ``expected``) passes straight through when it arrives.
+        """
+        last_end = buffer.expected
+        for seq in sorted(buffer.segments):
+            segment = buffer.segments.pop(seq)
+            last_end = seq + segment.payload_bytes
+            self.host.deliver_to_guest(segment)
+        if buffer.flush_event is not None:
+            buffer.flush_event.cancel()
+            buffer.flush_event = None
+        buffer.expected = last_end
+
+    def _on_flush_timer(self, flow: FlowKey) -> None:
+        buffer = self._reassembly.get(flow)
+        if buffer is None:
+            return
+        buffer.flush_event = None
+        if buffer.segments:
+            self._flush(flow, buffer)

@@ -1,0 +1,5 @@
+"""Measurement: flow-completion times and network statistics."""
+
+from repro.metrics.collector import MetricsCollector, JobRecord, FctSummary
+
+__all__ = ["MetricsCollector", "JobRecord", "FctSummary"]

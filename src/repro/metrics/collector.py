@@ -1,0 +1,145 @@
+"""Flow-completion-time collection and summarization.
+
+The collector is the single sink every experiment writes into: one
+:class:`JobRecord` per submitted job, summarized into the statistics the
+paper's figures report — mean FCT overall and per size bucket, tail
+percentiles, and full CDFs for Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass
+class JobRecord:
+    """One job (flow) submitted by a workload."""
+
+    size: int
+    arrival: float
+    completion: Optional[float] = None
+
+    @property
+    def fct(self) -> Optional[float]:
+        if self.completion is None:
+            return None
+        return self.completion - self.arrival
+
+
+@dataclass
+class FctSummary:
+    """Aggregate FCT statistics over a set of completed jobs."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile over pre-sorted values (q in [0, 100])."""
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of no data")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    rank = max(1, math.ceil(q / 100.0 * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class MetricsCollector:
+    """Records job lifecycles and produces figure-ready summaries."""
+
+    def __init__(self) -> None:
+        self.jobs: List[JobRecord] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def job_started(self, size: int, arrival: float) -> JobRecord:
+        """Record a job submission; returns its JobRecord."""
+        record = JobRecord(size=size, arrival=arrival)
+        self.jobs.append(record)
+        return record
+
+    def job_finished(self, record: JobRecord, completion: float) -> None:
+        """Mark a job complete at ``completion`` (simulated seconds)."""
+        if record.completion is not None:
+            raise ValueError("job already completed")
+        if completion < record.arrival:
+            raise ValueError("completion precedes arrival")
+        record.completion = completion
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def completed(
+        self,
+        min_size: Optional[int] = None,
+        max_size: Optional[int] = None,
+    ) -> List[JobRecord]:
+        """Completed jobs, optionally filtered to a size bucket."""
+        out = []
+        for job in self.jobs:
+            if job.completion is None:
+                continue
+            if min_size is not None and job.size < min_size:
+                continue
+            if max_size is not None and job.size > max_size:
+                continue
+            out.append(job)
+        return out
+
+    def fcts(
+        self,
+        min_size: Optional[int] = None,
+        max_size: Optional[int] = None,
+    ) -> List[float]:
+        """Sorted completion times of the (optionally filtered) jobs."""
+        return sorted(j.fct for j in self.completed(min_size, max_size))
+
+    def summary(
+        self,
+        min_size: Optional[int] = None,
+        max_size: Optional[int] = None,
+    ) -> Optional[FctSummary]:
+        """FCT statistics for the (optionally bucketed) completed jobs."""
+        values = self.fcts(min_size, max_size)
+        if not values:
+            return None
+        return FctSummary(
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            p99=percentile(values, 99),
+            max=values[-1],
+        )
+
+    def cdf(
+        self,
+        min_size: Optional[int] = None,
+        max_size: Optional[int] = None,
+        points: int = 100,
+    ) -> List[Tuple[float, float]]:
+        """(fct, cumulative fraction) pairs for CDF plots (Figure 9)."""
+        values = self.fcts(min_size, max_size)
+        if not values:
+            return []
+        n = len(values)
+        step = max(1, n // points)
+        out = [(values[i], (i + 1) / n) for i in range(0, n, step)]
+        if out[-1][0] != values[-1]:
+            out.append((values[-1], 1.0))
+        return out
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of submitted jobs that completed."""
+        if not self.jobs:
+            return 0.0
+        done = sum(1 for j in self.jobs if j.completion is not None)
+        return done / len(self.jobs)

@@ -1,0 +1,24 @@
+"""Packet-level network substrate.
+
+Models the physical underlay the Clove paper assumes: store-and-forward
+switches running static-hash ECMP, drop-tail egress queues that mark ECN
+above a threshold, links with serialization + propagation delay, TTL
+handling (so traceroute works), and optional In-band Network Telemetry.
+"""
+
+from repro.net.packet import Packet, FlowKey
+from repro.net.hashing import EcmpHasher
+from repro.net.queue import DropTailQueue
+from repro.net.link import Link
+from repro.net.switch import Switch
+from repro.net.dre import DiscountingRateEstimator
+
+__all__ = [
+    "Packet",
+    "FlowKey",
+    "EcmpHasher",
+    "DropTailQueue",
+    "Link",
+    "Switch",
+    "DiscountingRateEstimator",
+]

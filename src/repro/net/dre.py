@@ -1,0 +1,63 @@
+"""Discounting Rate Estimator (DRE).
+
+CONGA measures link load with a DRE: a register ``x`` incremented by each
+packet's size and multiplicatively decremented every ``t_dre`` with factor
+``alpha``.  ``x / (rate * t_dre / alpha)`` then approximates link
+utilization over a window of roughly ``t_dre / alpha``.
+
+We reuse the same estimator for the INT utilization that Clove-INT consumes,
+so both schemes observe the network through identical eyes (as the paper's
+NS2 setup effectively did).
+
+The decay is applied lazily on access instead of with a periodic timer, so
+idle links cost nothing.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class DiscountingRateEstimator:
+    """Lazily-decayed DRE over a link of ``rate_bps`` bits/second."""
+
+    __slots__ = ("rate_bps", "t_dre", "alpha", "_x", "_last_decay")
+
+    def __init__(self, rate_bps: float, t_dre: float = 40e-6, alpha: float = 0.1) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.rate_bps = rate_bps
+        self.t_dre = t_dre
+        self.alpha = alpha
+        self._x = 0.0
+        self._last_decay = 0.0
+
+    def _decay_to(self, now: float) -> None:
+        elapsed = now - self._last_decay
+        if elapsed <= 0:
+            return
+        periods = elapsed / self.t_dre
+        # x <- x * (1 - alpha)^periods, computed in closed form.
+        self._x *= math.pow(1.0 - self.alpha, periods)
+        self._last_decay = now
+        if self._x < 1e-9:
+            self._x = 0.0
+
+    def record(self, nbytes: int, now: float) -> None:
+        """Account for ``nbytes`` transmitted at time ``now``."""
+        self._decay_to(now)
+        self._x += nbytes
+
+    def utilization(self, now: float) -> float:
+        """Estimated utilization in [0, ~saturation]; ~1.0 means line rate."""
+        self._decay_to(now)
+        window_bytes = self.rate_bps * self.t_dre / self.alpha / 8.0
+        return self._x / window_bytes
+
+    def quantized(self, now: float, bits: int = 3) -> int:
+        """Utilization quantized to ``bits`` bits, as CONGA carries on-wire."""
+        levels = (1 << bits) - 1
+        value = int(self.utilization(now) * levels)
+        return min(levels, max(0, value))

@@ -1,0 +1,55 @@
+"""Static ECMP hash functions.
+
+Real switches hash the 5-tuple with a vendor-specific, per-switch-seeded
+function and pick ``hash % n_nexthops``.  Two properties matter for Clove:
+
+* the hash is **static** — the same 5-tuple always picks the same next hop
+  while the next-hop set is unchanged, which is what lets the hypervisor's
+  traceroute learn a stable source-port -> path mapping; and
+* when the next-hop *count* changes (link failure/recovery), ``hash % n``
+  remaps many ports at once, which is why the paper re-runs discovery after
+  any topology change.
+
+We use a 64-bit FNV-1a over the 5-tuple mixed with a per-switch seed.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import FlowKey
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(data: bytes) -> int:
+    """Plain 64-bit FNV-1a."""
+    h = _FNV_OFFSET
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK
+    return h
+
+
+class EcmpHasher:
+    """Per-switch ECMP hasher with a private seed."""
+
+    __slots__ = ("seed",)
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed & _MASK
+
+    def hash_key(self, key: FlowKey) -> int:
+        """Hash a 5-tuple to a 64-bit value, deterministically per switch."""
+        h = _FNV_OFFSET ^ self.seed
+        for word in key.as_tuple():
+            for shift in (0, 8, 16, 24):
+                h ^= (word >> shift) & 0xFF
+                h = (h * _FNV_PRIME) & _MASK
+        return h
+
+    def select(self, key: FlowKey, n_choices: int) -> int:
+        """Pick ``hash(key) % n_choices`` — the ECMP next-hop index."""
+        if n_choices <= 0:
+            raise ValueError("ECMP group is empty")
+        return self.hash_key(key) % n_choices

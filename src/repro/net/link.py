@@ -1,0 +1,130 @@
+"""Point-to-point links with serialization and propagation delay.
+
+A :class:`Link` is unidirectional: it drains one egress queue of the node at
+its transmit side and delivers packets to the receive handler of the node at
+the far side.  Bidirectional cables are simply two ``Link`` objects.
+
+Each link owns:
+
+* a :class:`~repro.net.queue.DropTailQueue` (the egress buffer of the port),
+* a transmitter process (one packet in flight at a time — store-and-forward),
+* a :class:`~repro.net.dre.DiscountingRateEstimator` used both by CONGA's
+  leaf logic and by INT stamping, and
+* an up/down flag so experiments can fail links to create asymmetry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.dre import DiscountingRateEstimator
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+
+ReceiveFn = Callable[[Packet], None]
+
+
+class Link:
+    """Unidirectional link: ``src_name`` -> ``dst_name``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        rate_bps: float,
+        delay_s: float,
+        queue: Optional[DropTailQueue] = None,
+        dre: Optional[DiscountingRateEstimator] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay_s < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.dre = dre if dre is not None else DiscountingRateEstimator(rate_bps)
+        self.up = True
+        self._busy = False
+        self._receive: Optional[ReceiveFn] = None
+        # Counters.
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect(self, receive: ReceiveFn) -> None:
+        """Set the far-side receive handler (done by the topology builder)."""
+        self._receive = receive
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Offer a packet to the egress queue; starts the transmitter if idle.
+
+        Returns ``False`` when the packet was dropped (queue full or link
+        down).  A down link silently discards traffic, matching a dead cable.
+        """
+        if not self.up:
+            self.queue.stats.dropped += 1
+            return False
+        if not self.queue.enqueue(packet, self.sim.now):
+            return False
+        if not self._busy:
+            self._start_transmission()
+        return True
+
+    def _start_transmission(self) -> None:
+        packet = self.queue.dequeue(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.size * 8.0 / self.rate_bps
+        self.dre.record(packet.size, self.sim.now)
+        self.tx_packets += 1
+        self.tx_bytes += packet.size
+        self.sim.schedule(tx_time, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        # Propagation: the packet arrives delay_s after serialization ends.
+        if self.up and self._receive is not None:
+            self.sim.schedule(self.delay_s, self._deliver, packet)
+        # Move on to the next queued packet immediately.
+        self._start_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        assert self._receive is not None
+        self._receive(packet)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Take the link down.  Queued packets are flushed (lost)."""
+        self.up = False
+        while self.queue.dequeue(self.sim.now) is not None:
+            self.queue.stats.dropped += 1
+        self._busy = False
+
+    def recover(self) -> None:
+        """Bring the link back up."""
+        self.up = True
+        if not self.queue.is_empty and not self._busy:
+            self._start_transmission()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Instantaneous DRE-estimated utilization (0..~1)."""
+        return self.dre.utilization(self.sim.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "DOWN"
+        return f"Link({self.name}, {self.rate_bps/1e9:.1f}Gbps, {state}, q={len(self.queue)})"

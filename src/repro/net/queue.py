@@ -1,0 +1,100 @@
+"""Drop-tail egress queue with threshold ECN marking.
+
+This mirrors the behaviour the paper relies on from commodity (Broadcom)
+switches: a FIFO per egress port with a fixed capacity, marking CE on
+packets that arrive to find the instantaneous queue length above a
+configured threshold (DCTCP-style marking-on-enqueue).
+
+The queue also keeps the counters the experiments report: drops, ECN marks,
+peak occupancy, and cumulative queueing delay.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.net.packet import Packet
+
+
+class QueueStats:
+    """Counters exported by every queue (read by the metrics collector)."""
+
+    __slots__ = ("enqueued", "dropped", "ecn_marked", "dequeued",
+                 "peak_packets", "peak_bytes", "total_queue_delay")
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dropped = 0
+        self.ecn_marked = 0
+        self.dequeued = 0
+        self.peak_packets = 0
+        self.peak_bytes = 0
+        self.total_queue_delay = 0.0
+
+
+class DropTailQueue:
+    """Bounded FIFO with ECN marking above ``ecn_threshold_packets``.
+
+    ``capacity_packets`` bounds occupancy in packets (the unit the paper's
+    thresholds are quoted in: "20 MTU-sized packets").
+    """
+
+    __slots__ = ("capacity_packets", "ecn_threshold_packets", "_items",
+                 "byte_count", "stats")
+
+    def __init__(
+        self,
+        capacity_packets: int = 200,
+        ecn_threshold_packets: Optional[int] = 20,
+    ) -> None:
+        if capacity_packets <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity_packets = capacity_packets
+        self.ecn_threshold_packets = ecn_threshold_packets
+        self._items: Deque[Tuple[Packet, float]] = deque()
+        self.byte_count = 0
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Add ``packet``; returns False (and counts a drop) when full.
+
+        ECN: if the packet is ECT and the queue length *before* enqueue is at
+        or above the threshold, CE is set (mark-on-enqueue, as DCTCP
+        recommends and the paper's switches were configured to do).
+        """
+        if len(self._items) >= self.capacity_packets:
+            self.stats.dropped += 1
+            return False
+        if (
+            self.ecn_threshold_packets is not None
+            and packet.ect
+            and len(self._items) >= self.ecn_threshold_packets
+        ):
+            packet.ce = True
+            self.stats.ecn_marked += 1
+        self._items.append((packet, now))
+        self.byte_count += packet.size
+        self.stats.enqueued += 1
+        if len(self._items) > self.stats.peak_packets:
+            self.stats.peak_packets = len(self._items)
+        if self.byte_count > self.stats.peak_bytes:
+            self.stats.peak_bytes = self.byte_count
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Remove and return the head packet, or None when empty."""
+        if not self._items:
+            return None
+        packet, enqueued_at = self._items.popleft()
+        self.byte_count -= packet.size
+        self.stats.dequeued += 1
+        self.stats.total_queue_delay += now - enqueued_at
+        return packet

@@ -1,0 +1,145 @@
+"""Store-and-forward L3 switch with static-hash ECMP.
+
+The switch models exactly the features Clove assumes from off-the-shelf
+hardware:
+
+* **ECMP** — per-destination next-hop groups; the egress link is picked by a
+  static per-switch hash of the routed 5-tuple (the *outer* header for
+  encapsulated traffic).  When the set of live next hops changes, ``hash %
+  n`` remaps, which is why Clove re-runs path discovery after failures.
+* **TTL / ICMP** — TTL is decremented per hop; on expiry the switch returns
+  an ICMP Time-Exceeded identifying the ingress interface.  This is the
+  primitive Clove's encapsulation-header traceroute builds on.
+* **ECN marking** — performed by the egress queues (:mod:`repro.net.queue`).
+* **INT stamping** — when a packet requests telemetry, the switch folds the
+  egress link's DRE utilization into ``int_max_util`` (Clove-INT).
+
+Switches intended to run CONGA subclass this and override
+:meth:`select_port`; everything else is shared.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.net.hashing import EcmpHasher
+from repro.net.link import Link
+from repro.net.packet import FlowKey, Packet
+from repro.sim.engine import Simulator
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+
+#: meta key for the ICMP payload of a Time-Exceeded message.
+ICMP_TIME_EXCEEDED = "time_exceeded"
+
+
+class Switch:
+    """An L3 ECMP switch.  One ingress handler per attached link."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ip: int,
+        hash_seed: int,
+        int_capable: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.ip = ip
+        self.hasher = EcmpHasher(hash_seed)
+        self.int_capable = int_capable
+        #: dst_ip -> ordered ECMP group of egress links.
+        self.routes: Dict[int, List[Link]] = {}
+        self.rx_packets = 0
+        self.blackholed = 0
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+    def add_route(self, dst_ip: int, links: Sequence[Link]) -> None:
+        """Install/replace the ECMP group towards ``dst_ip``."""
+        self.routes[dst_ip] = list(links)
+
+    def ingress_handler(self, link_in: Optional[Link]) -> Callable[[Packet], None]:
+        """Return the receive callback for packets arriving over ``link_in``."""
+        def _receive(packet: Packet) -> None:
+            self.receive(packet, link_in)
+        return _receive
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, link_in: Optional[Link]) -> None:
+        """Process one arriving packet."""
+        self.rx_packets += 1
+        if packet.trace is not None:
+            self.on_trace(packet, link_in)
+        packet.ttl -= 1
+        if packet.ttl <= 0:
+            self._send_time_exceeded(packet, link_in)
+            return
+        self.forward(packet, link_in)
+
+    def forward(self, packet: Packet, link_in: Optional[Link]) -> None:
+        """Route ``packet`` towards its (outer) destination IP."""
+        key = packet.route_key
+        group = self.routes.get(key.dst_ip)
+        if not group:
+            self.blackholed += 1
+            return
+        live = [link for link in group if link.up]
+        if not live:
+            self.blackholed += 1
+            return
+        link_out = self.select_port(packet, key, live, link_in)
+        if self.int_capable and packet.int_enabled:
+            util = link_out.utilization()
+            if util > packet.int_max_util:
+                packet.int_max_util = util
+        self.on_egress(packet, link_out)
+        link_out.send(packet)
+
+    def select_port(
+        self,
+        packet: Packet,
+        key: FlowKey,
+        live: List[Link],
+        link_in: Optional[Link],
+    ) -> Link:
+        """Default policy: static ECMP hash over the live next hops."""
+        return live[self.hasher.select(key, len(live))]
+
+    # Hooks for subclasses (CONGA / LetFlow) -----------------------------
+    def on_egress(self, packet: Packet, link_out: Link) -> None:
+        """Called just before transmission; default is a no-op."""
+
+    def on_trace(self, packet: Packet, link_in: Optional[Link]) -> None:
+        """Record the hop when packet tracing is enabled."""
+        tag = f"{self.name}<{link_in.name}" if link_in is not None else self.name
+        packet.trace.append(tag)
+
+    # ------------------------------------------------------------------
+    # ICMP
+    # ------------------------------------------------------------------
+    def _send_time_exceeded(self, packet: Packet, link_in: Optional[Link]) -> None:
+        """Reply to the (outer) source with an ICMP Time-Exceeded.
+
+        The reply identifies the ingress interface (the link the probe came
+        in on), which is what lets the traceroute daemon distinguish two
+        paths that traverse the same switch via different links — exactly
+        what Paris-style traceroute observes from interface IPs.
+        """
+        key = packet.route_key
+        reply_key = FlowKey(self.ip, key.src_ip, 0, 0, PROTO_ICMP)
+        reply = Packet(reply_key, payload_bytes=28, created_at=self.sim.now)
+        reply.meta["icmp"] = ICMP_TIME_EXCEEDED
+        reply.meta["hop_switch"] = self.name
+        reply.meta["hop_interface"] = link_in.name if link_in is not None else self.name
+        reply.meta["orig"] = key
+        reply.meta["probe_id"] = packet.meta.get("probe_id")
+        self.forward(reply, None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Switch({self.name}, routes={len(self.routes)})"

@@ -1,0 +1,81 @@
+"""Packet path tracing — a debugging lens over the fabric.
+
+Switches already record hops into ``Packet.trace`` when it is non-None
+(see :meth:`repro.net.switch.Switch.on_trace`); this module provides the
+user-facing side: enable tracing on selected packets, collect the paths
+they took, and summarize path usage — e.g. to verify that a load balancer
+actually spreads flowlets the way its weights say.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, List, Optional, Tuple
+
+from repro.net.packet import Packet
+
+
+class PathTracer:
+    """Collects the switch-level paths taken by matching packets.
+
+    Wire it into a host's guest-send path::
+
+        tracer = PathTracer(match=lambda p: p.payload_bytes > 0)
+        host.send_from_guest = tracer.wrap(host.send_from_guest)
+
+    After the run, :meth:`path_counts` says how many traced packets took
+    each distinct switch path.
+    """
+
+    def __init__(
+        self,
+        match: Optional[Callable[[Packet], bool]] = None,
+        limit: int = 100_000,
+    ) -> None:
+        self.match = match if match is not None else (lambda packet: True)
+        self.limit = limit
+        self.traced: List[Packet] = []
+
+    def wrap(self, send: Callable[[Packet], None]) -> Callable[[Packet], None]:
+        """Return a sender that arms tracing on matching packets."""
+        def _send(packet: Packet) -> None:
+            if len(self.traced) < self.limit and self.match(packet):
+                packet.trace = []
+                self.traced.append(packet)
+            send(packet)
+        return _send
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def paths(self) -> List[Tuple[str, ...]]:
+        """The hop sequence of every traced packet (switch<ingress tags)."""
+        return [tuple(packet.trace) for packet in self.traced if packet.trace]
+
+    def path_counts(self) -> Counter:
+        """Distinct paths with the number of traced packets on each."""
+        return Counter(self.paths())
+
+    def spread(self) -> float:
+        """Fraction of traced packets NOT on the most common path.
+
+        0.0 = single-path (ECMP-like); approaching (k-1)/k = uniform over
+        k paths.
+        """
+        counts = self.path_counts()
+        total = sum(counts.values())
+        if total == 0:
+            return 0.0
+        return 1.0 - counts.most_common(1)[0][1] / total
+
+    def format_summary(self, top: int = 8) -> str:
+        """Human-readable path usage table."""
+        counts = self.path_counts()
+        total = sum(counts.values())
+        if total == 0:
+            return "(no traced packets)"
+        lines = [f"{total} traced packets over {len(counts)} distinct paths:"]
+        for path, count in counts.most_common(top):
+            hops = " -> ".join(tag.split("<")[0] for tag in path)
+            lines.append(f"  {count:>6} ({count/total:5.1%})  {hops}")
+        return "\n".join(lines)

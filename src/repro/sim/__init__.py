@@ -1,0 +1,12 @@
+"""Discrete-event simulation engine.
+
+This subpackage provides the event-driven substrate on which the packet-level
+network model (:mod:`repro.net`), the transport stacks (:mod:`repro.transport`)
+and the load balancers (:mod:`repro.core`, :mod:`repro.baselines`) all run.
+It plays the role that the hardware testbed and NS2 played in the Clove paper.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Event", "Simulator", "RngRegistry"]

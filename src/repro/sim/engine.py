@@ -1,0 +1,161 @@
+"""Core discrete-event simulation engine.
+
+The engine is a classic calendar queue built on :mod:`heapq`.  Everything in
+the repository — link transmissions, switch forwarding, TCP timers, the Clove
+traceroute daemon — is expressed as callbacks scheduled on a single
+:class:`Simulator` instance.
+
+Design notes
+------------
+* Time is a ``float`` in **seconds**.  Datacenter RTTs are tens to hundreds
+  of microseconds, so double precision gives sub-nanosecond resolution over
+  the simulated horizons used here (tens of seconds).
+* Events carry a monotonically increasing sequence number so that events
+  scheduled for the same instant fire in FIFO order.  This keeps runs
+  deterministic for a given seed regardless of heap tie-breaking.
+* Events may be cancelled in O(1) (lazy deletion): cancellation marks the
+  event and the main loop skips it when popped.  TCP retransmission timers
+  rely on this heavily.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` / :meth:`Simulator.at`
+    and can be cancelled via :meth:`cancel`.  An event fires exactly once.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Safe to call more than once."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.9f}, fn={getattr(self.fn, '__name__', self.fn)!r}, {state})"
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(0.001, lambda: print("one millisecond in"))
+        sim.run(until=1.0)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        # The heap holds (time, seq, event) tuples so ordering uses fast
+        # C-level tuple comparison instead of a Python __lt__ (the hottest
+        # call in packet-level runs otherwise).
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative; a zero delay runs the callback after
+        all events already scheduled for the current instant.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.at(self.now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule at t={time} < now={self.now}")
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, (time, event.seq, event))
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains, ``until`` is reached, or
+        ``max_events`` events have been processed.
+
+        When ``until`` is given, ``now`` is advanced to exactly ``until`` on
+        return (even if the queue drained earlier), mirroring NS2 semantics.
+        """
+        self._running = True
+        processed = 0
+        queue = self._queue
+        try:
+            while queue and self._running:
+                time, _seq, event = queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(queue)
+                if event.cancelled:
+                    continue
+                self.now = time
+                event.fn(*event.args)
+                processed += 1
+                self._events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+
+    def step(self) -> bool:
+        """Process a single event.  Returns ``False`` when the queue is empty."""
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
+            if event.cancelled:
+                continue
+            self.now = time
+            event.fn(*event.args)
+            self._events_processed += 1
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed since construction."""
+        return self._events_processed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if the queue is empty."""
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None

@@ -1,0 +1,43 @@
+"""Per-component seeded random-number streams.
+
+Every stochastic component (workload generator, ECMP hash seeds, load
+balancers that make random choices, ...) draws from its own named stream so
+that adding or removing one component does not perturb the randomness seen by
+the others.  This is what makes A/B comparisons between load balancers
+meaningful: with the same master seed, ECMP and Clove see the *same* flow
+arrival sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def _derive_seed(master_seed: int, name: str) -> int:
+    """Derive a stable 64-bit child seed from ``(master_seed, name)``."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """Factory of named, independently seeded ``random.Random`` streams."""
+
+    def __init__(self, master_seed: int = 0) -> None:
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it deterministically."""
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(_derive_seed(self.master_seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def reseed(self, master_seed: int) -> None:
+        """Reset all existing streams under a new master seed."""
+        self.master_seed = master_seed
+        for name, rng in self._streams.items():
+            rng.seed(_derive_seed(master_seed, name))

@@ -1,0 +1,13 @@
+"""Topology builders: leaf-spine (the paper's testbed) and fat-tree."""
+
+from repro.topology.network import Network, LinkSpec
+from repro.topology.leafspine import build_leaf_spine, LeafSpineConfig
+from repro.topology.fattree import build_fat_tree
+
+__all__ = [
+    "Network",
+    "LinkSpec",
+    "build_leaf_spine",
+    "LeafSpineConfig",
+    "build_fat_tree",
+]

@@ -1,0 +1,88 @@
+"""A k-ary fat-tree builder.
+
+Clove claims to work on any ECMP topology ("works on any topology and adapts
+quickly to topology changes").  The fat-tree is used by tests and by one of
+the examples to exercise path discovery and load balancing beyond the
+2-tier leaf-spine the paper evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Type
+
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.topology.network import LinkSpec, Network
+
+
+@dataclass
+class FatTreeConfig:
+    """Knobs for :func:`build_fat_tree`."""
+
+    k: int = 4                        # pods; must be even
+    hosts_per_edge: Optional[int] = None  # default k // 2 (full fat-tree)
+    link_rate_bps: float = 10e9
+    link_delay_s: float = 2e-6
+    queue_capacity_packets: int = 250
+    ecn_threshold_packets: Optional[int] = 20
+    int_capable: bool = False
+    scale: float = 1.0
+    switch_class: Type[Switch] = Switch
+
+    def spec(self) -> LinkSpec:
+        """The uniform LinkSpec used for every fat-tree link."""
+        return LinkSpec(
+            self.link_rate_bps * self.scale,
+            self.link_delay_s,
+            self.queue_capacity_packets,
+            self.ecn_threshold_packets,
+        )
+
+
+def build_fat_tree(
+    sim: Simulator,
+    rng: RngRegistry,
+    config: Optional[FatTreeConfig] = None,
+) -> Network:
+    """Build a k-ary fat-tree with uniform link speeds.
+
+    Naming: core switches ``C<i>``, aggregation ``A<pod>_<i>``, edge
+    ``E<pod>_<i>``, hosts ``h<pod>_<edge>_<i>``.
+    """
+    cfg = config if config is not None else FatTreeConfig()
+    if cfg.k % 2 != 0 or cfg.k < 2:
+        raise ValueError("fat-tree k must be a positive even integer")
+    k = cfg.k
+    half = k // 2
+    hosts_per_edge = cfg.hosts_per_edge if cfg.hosts_per_edge is not None else half
+
+    net = Network(sim)
+    seed_rng = rng.stream("ecmp-seeds")
+    spec = cfg.spec()
+
+    def new_switch(name: str) -> Switch:
+        switch = cfg.switch_class(
+            sim, name, net.allocate_ip(),
+            hash_seed=seed_rng.getrandbits(64), int_capable=cfg.int_capable,
+        )
+        return net.add_switch(switch)
+
+    cores = [new_switch(f"C{i}") for i in range(half * half)]
+    for pod in range(k):
+        aggs = [new_switch(f"A{pod}_{i}") for i in range(half)]
+        edges = [new_switch(f"E{pod}_{i}") for i in range(half)]
+        for ai, agg in enumerate(aggs):
+            for edge in edges:
+                net.add_duplex_link(agg.name, edge.name, spec)
+            # Each aggregation switch connects to `half` cores.
+            for ci in range(half):
+                core = cores[ai * half + ci]
+                net.add_duplex_link(agg.name, core.name, spec)
+        for ei, edge in enumerate(edges):
+            for hi in range(hosts_per_edge):
+                net.add_host(f"h{pod}_{ei}_{hi}", edge.name, spec)
+
+    net.compute_routes()
+    return net

@@ -1,0 +1,118 @@
+"""The paper's evaluation topology: a 2-tier leaf-spine Clos.
+
+Defaults mirror Section 5: two spines, two leaves, two 40G cables per
+leaf-spine pair (four disjoint leaf-to-leaf paths), sixteen 10G hosts per
+leaf — a non-oversubscribed 160G bisection.  A scale factor lets CI-speed
+runs shrink rates while preserving every ratio (host:fabric = 1:4,
+oversubscription = 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Type
+
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.topology.network import LinkSpec, Network
+
+
+@dataclass
+class LeafSpineConfig:
+    """Knobs for :func:`build_leaf_spine`."""
+
+    n_spines: int = 2
+    n_leaves: int = 2
+    cables_per_pair: int = 2          # parallel cables between each leaf/spine
+    hosts_per_leaf: int = 16
+    host_rate_bps: float = 10e9
+    fabric_rate_bps: float = 40e9
+    host_delay_s: float = 2e-6
+    fabric_delay_s: float = 2e-6
+    queue_capacity_packets: int = 250
+    ecn_threshold_packets: Optional[int] = 20
+    #: host NIC/qdisc (host->leaf direction): deep and never ECN-marking —
+    #: the sending stack backpressures instead of dropping its own bursts
+    host_uplink_queue_packets: int = 4096
+    int_capable: bool = False
+    #: Multiply every link rate by this (for fast scaled-down runs).
+    scale: float = 1.0
+    switch_class: Type[Switch] = Switch
+    #: Override per tier (CONGA uses distinct leaf/spine classes).
+    leaf_switch_class: Optional[Type[Switch]] = None
+    spine_switch_class: Optional[Type[Switch]] = None
+
+    def host_spec(self) -> LinkSpec:
+        """LinkSpec of the leaf->host direction (a switch port)."""
+        return LinkSpec(
+            self.host_rate_bps * self.scale,
+            self.host_delay_s,
+            self.queue_capacity_packets,
+            self.ecn_threshold_packets,
+        )
+
+    def host_uplink_spec(self) -> LinkSpec:
+        """LinkSpec of the host->leaf direction (deep, ECN-free qdisc)."""
+        return LinkSpec(
+            self.host_rate_bps * self.scale,
+            self.host_delay_s,
+            self.host_uplink_queue_packets,
+            None,
+        )
+
+    def fabric_spec(self) -> LinkSpec:
+        """LinkSpec of the leaf<->spine cables."""
+        return LinkSpec(
+            self.fabric_rate_bps * self.scale,
+            self.fabric_delay_s,
+            self.queue_capacity_packets,
+            self.ecn_threshold_packets,
+        )
+
+
+def build_leaf_spine(
+    sim: Simulator,
+    rng: RngRegistry,
+    config: Optional[LeafSpineConfig] = None,
+) -> Network:
+    """Build the leaf-spine fabric and install ECMP routes.
+
+    Hosts are named ``h<leaf>_<i>``; leaves ``L<i>``; spines ``S<i>``
+    (1-based, as in the paper's Figure 4a).
+    """
+    cfg = config if config is not None else LeafSpineConfig()
+    net = Network(sim)
+    seed_rng = rng.stream("ecmp-seeds")
+
+    spine_class = cfg.spine_switch_class or cfg.switch_class
+    leaf_class = cfg.leaf_switch_class or cfg.switch_class
+    spines: List[Switch] = []
+    leaves: List[Switch] = []
+    for i in range(cfg.n_spines):
+        switch = spine_class(
+            sim, f"S{i + 1}", net.allocate_ip(),
+            hash_seed=seed_rng.getrandbits(64), int_capable=cfg.int_capable,
+        )
+        spines.append(net.add_switch(switch))
+    for i in range(cfg.n_leaves):
+        switch = leaf_class(
+            sim, f"L{i + 1}", net.allocate_ip(),
+            hash_seed=seed_rng.getrandbits(64), int_capable=cfg.int_capable,
+        )
+        leaves.append(net.add_switch(switch))
+
+    fabric = cfg.fabric_spec()
+    for leaf in leaves:
+        for spine in spines:
+            for _ in range(cfg.cables_per_pair):
+                net.add_duplex_link(leaf.name, spine.name, fabric)
+
+    host_spec = cfg.host_spec()
+    uplink_spec = cfg.host_uplink_spec()
+    for li, leaf in enumerate(leaves):
+        for hi in range(cfg.hosts_per_leaf):
+            net.add_host(f"h{li + 1}_{hi}", leaf.name, host_spec, uplink_spec)
+
+    net.compute_routes()
+    return net

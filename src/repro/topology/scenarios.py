@@ -1,0 +1,83 @@
+"""Asymmetry scenarios beyond the paper's single cable failure.
+
+Section 2 motivates Clove with several *sources* of topology asymmetry:
+frequent link failures, heterogeneous switching equipment (ports from
+different vendors at different speeds), and workload shifts.  These helpers
+inject each of them into a built :class:`~repro.topology.network.Network`
+so experiments can cover the full landscape:
+
+* :func:`fail_spine_cable` — the paper's evaluation scenario;
+* :func:`degrade_cable` — a heterogeneous-equipment stand-in: one cable
+  runs at a fraction of its nominal rate (e.g. a 40G port negotiated down
+  to 10G);
+* :func:`flapping_cable` — a cable that repeatedly fails and recovers,
+  exercising rediscovery;
+* :func:`multi_failure` — several cables down at once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.sim.engine import Simulator
+from repro.topology.network import Network
+
+
+def fail_spine_cable(net: Network, spine: str = "S2", leaf: str = "L2",
+                     index: int = 0) -> None:
+    """The paper's Section 5.2 failure: one spine-leaf cable down."""
+    net.fail_cable(leaf, spine, index)
+
+
+def degrade_cable(
+    net: Network, a: str, b: str, index: int = 0, factor: float = 0.25
+) -> None:
+    """Run one cable at ``factor`` of its nominal rate (both directions).
+
+    Models heterogeneous switching equipment — the second asymmetry source
+    Section 2 cites.  ECMP still treats the slow cable as equal cost, so
+    congestion-oblivious schemes overload it exactly as with a failure,
+    just less severely.
+    """
+    if not 0.0 < factor <= 1.0:
+        raise ValueError("factor must be in (0, 1]")
+    for src, dst in ((a, b), (b, a)):
+        link = net.links[(src, dst)][index]
+        link.rate_bps *= factor
+        link.dre.rate_bps = link.rate_bps
+
+
+def flapping_cable(
+    sim: Simulator,
+    net: Network,
+    a: str,
+    b: str,
+    index: int = 0,
+    period: float = 0.5,
+    downtime: float = 0.1,
+    flaps: int = 4,
+    start: float = 0.0,
+) -> None:
+    """Schedule ``flaps`` fail/recover cycles on one cable.
+
+    Each cycle: down at ``start + k*period`` for ``downtime`` seconds.
+    Exercises Clove's re-discovery loop and the hash remapping on group
+    size changes.
+    """
+    if downtime >= period:
+        raise ValueError("downtime must be shorter than the period")
+    for k in range(flaps):
+        t_down = start + k * period
+        sim.at(t_down, net.fail_cable, a, b, index)
+        sim.at(t_down + downtime, net.recover_cable, a, b, index)
+
+
+def multi_failure(net: Network, cables: Sequence[Tuple[str, str, int]]) -> None:
+    """Fail several cables at once, e.g. a whole spine's downlinks."""
+    for a, b, index in cables:
+        net.fail_cable(a, b, index)
+
+
+def effective_bisection(net: Network) -> float:
+    """Live bisection bandwidth after whatever was injected (bps)."""
+    return net.bisection_bandwidth_bps()

@@ -1,0 +1,21 @@
+"""Guest-VM transport stacks.
+
+The paper keeps tenant VM stacks unmodified; the default stack here is TCP
+NewReno (:mod:`repro.transport.tcp`).  MPTCP (:mod:`repro.transport.mptcp`)
+and DCTCP (:mod:`repro.transport.dctcp`) model the host-based alternatives
+the paper compares against / discusses.
+"""
+
+from repro.transport.tcp import TcpReceiver, TcpSender, Connection, open_connection
+from repro.transport.dctcp import DctcpSender
+from repro.transport.mptcp import MptcpConnection, open_mptcp_connection
+
+__all__ = [
+    "TcpSender",
+    "TcpReceiver",
+    "Connection",
+    "open_connection",
+    "DctcpSender",
+    "MptcpConnection",
+    "open_mptcp_connection",
+]

@@ -1,0 +1,115 @@
+"""CUBIC congestion control (RFC 8312), the Linux default since 2.6.19.
+
+The paper's testbed guests ran stock Linux, i.e. CUBIC rather than NewReno.
+For the headline experiments the difference is secondary (datacenter RTTs
+keep CUBIC in its TCP-friendly region most of the time), but the ablation
+benches exercise both so the choice is visible.
+
+The implementation follows RFC 8312's window growth:
+
+    W_cubic(t) = C * (t - K)^3 + W_max,   K = cbrt(W_max * beta / C)
+
+with the TCP-friendly lower bound ``W_est`` and fast convergence.  Loss
+response scales the window by ``beta_cubic`` (0.7) instead of halving.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.packet import FlowKey
+from repro.sim.engine import Simulator
+from repro.transport.tcp import TcpSender
+
+
+class CubicSender(TcpSender):
+    """TCP sender with CUBIC window growth and 0.7 multiplicative decrease."""
+
+    #: RFC 8312 constants
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, sim: Simulator, host, flow: FlowKey, **kwargs) -> None:
+        super().__init__(sim, host, flow, **kwargs)
+        self._w_max = 0.0          # window (bytes) before the last reduction
+        self._epoch_start: Optional[float] = None
+        self._k = 0.0              # time to regrow to w_max (seconds)
+        self._w_est = 0.0          # TCP-friendly (Reno-equivalent) window
+        self._acked_in_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Window growth
+    # ------------------------------------------------------------------
+    def _increase_cwnd(self, acked: int) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd + acked, self.max_cwnd)  # slow start
+            return
+        now = self.sim.now
+        if self._epoch_start is None:
+            self._begin_epoch()
+        self._acked_in_epoch += acked
+        t = now - self._epoch_start
+        rtt = self.srtt if self.srtt is not None else 1e-4
+
+        # Target from the cubic curve one RTT ahead (windows in segments).
+        w_max_seg = self._w_max / self.mss
+        w_cubic = self.C * ((t + rtt - self._k) ** 3) + w_max_seg
+        # TCP-friendly region estimate (RFC 8312 eq. 4).
+        self._w_est += 3 * (1 - self.BETA) / (1 + self.BETA) * acked / max(
+            self.cwnd / self.mss, 1.0
+        )
+        w_friendly_seg = (self.cwnd + self._w_est) / self.mss
+
+        target_seg = max(w_cubic, w_friendly_seg)
+        current_seg = self.cwnd / self.mss
+        if target_seg > current_seg:
+            # Standard CUBIC pacing: grow by (target - cwnd) / cwnd per ACK.
+            self.cwnd += (target_seg - current_seg) / current_seg * self.mss
+        else:
+            self.cwnd += self.mss * 0.01  # minimal growth in the plateau
+        if self.cwnd > self.max_cwnd:
+            self.cwnd = self.max_cwnd
+
+    def _begin_epoch(self) -> None:
+        self._epoch_start = self.sim.now
+        self._acked_in_epoch = 0
+        self._w_est = 0.0
+        w_max_seg = max(self._w_max, self.cwnd) / self.mss
+        current_seg = self.cwnd / self.mss
+        delta = max(w_max_seg - current_seg, 0.0)
+        self._k = (delta / self.C) ** (1.0 / 3.0)
+
+    # ------------------------------------------------------------------
+    # Loss / ECN response: beta = 0.7, with fast convergence
+    # ------------------------------------------------------------------
+    def _reduce_on_congestion(self) -> None:
+        if self.cwnd < self._w_max:
+            # Fast convergence: release bandwidth faster when the flow is
+            # still below its previous peak.
+            self._w_max = self.cwnd * (1 + self.BETA) / 2
+        else:
+            self._w_max = self.cwnd
+        self.ssthresh = max(self.cwnd * self.BETA, 2.0 * self.mss)
+        self._epoch_start = None
+
+    def _enter_recovery(self) -> None:
+        cwnd_before = self.cwnd
+        self._reduce_on_congestion()
+        super()._enter_recovery()
+        # super() set ssthresh to flight/2; restore CUBIC's 0.7 factor.
+        self.ssthresh = max(cwnd_before * self.BETA, 2.0 * self.mss)
+        self.cwnd = self.ssthresh + 3 * self.mss
+
+    def _react_to_ecn(self) -> None:
+        if self.snd_una < self.ece_reacted_at:
+            return
+        self.ece_reacted_at = self.snd_nxt
+        self._reduce_on_congestion()
+        self.cwnd = max(self.cwnd * self.BETA, 2.0 * self.mss)
+        self.ssthresh = self.cwnd
+        self.cwr_pending = True
+        self.ecn_reductions += 1
+
+    def _on_rto(self) -> None:
+        self._reduce_on_congestion()
+        super()._on_rto()

@@ -1,0 +1,61 @@
+"""DCTCP sender.
+
+The paper's Section 7 discusses DCTCP as a complementary end-host change:
+instead of halving once per window on any mark, the sender tracks the
+*fraction* of marked bytes (``alpha``) and scales the window by
+``1 - alpha/2``.  We provide it as the optional extension the paper points
+to (it is exercised by the ablation benches, not by the headline figures,
+which keep guest stacks unmodified).
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import FlowKey, MSS
+from repro.sim.engine import Simulator
+from repro.transport.tcp import FLAG_ECE, TcpSender
+
+
+class DctcpSender(TcpSender):
+    """TCP sender with DCTCP's fractional ECN response.
+
+    Requires the receiver side to echo ECE per-mark rather than latched;
+    our :class:`~repro.transport.tcp.TcpReceiver` latch is a close-enough
+    stand-in at the marking rates seen here, and the hypervisor can also
+    inject per-ACK ECE directly.
+    """
+
+    def __init__(self, sim: Simulator, host, flow: FlowKey, g: float = 1.0 / 16, **kwargs):
+        super().__init__(sim, host, flow, **kwargs)
+        self.g = g
+        self.alpha = 1.0
+        self._window_end = 0
+        self._acked_bytes = 0
+        self._marked_bytes = 0
+
+    def on_packet(self, packet) -> None:
+        if packet.ack >= 0 and packet.ack > self.snd_una:
+            acked = packet.ack - self.snd_una
+            self._acked_bytes += acked
+            if FLAG_ECE in packet.flags:
+                self._marked_bytes += acked
+            if packet.ack >= self._window_end:
+                self._update_alpha()
+                self._window_end = self.snd_nxt
+        super().on_packet(packet)
+
+    def _update_alpha(self) -> None:
+        if self._acked_bytes > 0:
+            fraction = self._marked_bytes / self._acked_bytes
+            self.alpha = (1 - self.g) * self.alpha + self.g * fraction
+        self._acked_bytes = 0
+        self._marked_bytes = 0
+
+    def _react_to_ecn(self) -> None:
+        """DCTCP reduction: cwnd *= (1 - alpha/2), once per window."""
+        if self.snd_una < self.ece_reacted_at:
+            return
+        self.ece_reacted_at = self.snd_nxt
+        self.cwnd = max(self.cwnd * (1 - self.alpha / 2.0), 2.0 * MSS)
+        self.ssthresh = self.cwnd
+        self.cwr_pending = True
+        self.ecn_reductions += 1

@@ -1,0 +1,14 @@
+"""Traffic generation: empirical flow sizes and arrival processes."""
+
+from repro.workloads.distributions import EmpiricalCdf, web_search_distribution
+from repro.workloads.generator import PoissonWorkload, WorkloadConfig
+from repro.workloads.incast import IncastWorkload, IncastConfig
+
+__all__ = [
+    "EmpiricalCdf",
+    "web_search_distribution",
+    "PoissonWorkload",
+    "WorkloadConfig",
+    "IncastWorkload",
+    "IncastConfig",
+]

@@ -1,0 +1,151 @@
+"""Open-loop client-server workload (Section 5's "empirical workload").
+
+Each client host opens persistent TCP (or MPTCP) connections to randomly
+chosen servers and submits jobs whose sizes are drawn from the flow-size
+distribution, with exponential inter-arrival times tuned so the offered
+load equals the requested fraction of the fabric's bisection bandwidth.
+
+Jobs on a connection are serialized on its byte stream (they are requests
+on a persistent connection), and a job's completion time is measured from
+its *scheduled arrival* to the moment the receiver holds its last byte —
+the paper's flow completion time for 50K jobs/connection runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.hypervisor.host import Host
+from repro.metrics.collector import MetricsCollector
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.workloads.distributions import EmpiricalCdf
+
+
+@dataclass
+class WorkloadConfig:
+    """Parameters of the Poisson client-server workload."""
+
+    load: float = 0.5                 # fraction of bisection bandwidth
+    jobs_per_client: int = 100
+    connections_per_client: int = 1
+    start_time: float = 0.0
+    #: "random": each connection picks a uniformly random server (the
+    #: paper's protocol — creates destination hotspots whose effect only
+    #: averages out over very long runs); "permutation": connection c of
+    #: client i goes to server (i + c) mod n — balanced, low-variance.
+    pairing: str = "permutation"
+    #: cap on concurrently outstanding jobs per connection; None = open loop
+    max_outstanding: Optional[int] = None
+
+
+class PoissonWorkload:
+    """Drives jobs over pre-opened connections between clients and servers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: RngRegistry,
+        clients: Sequence[Host],
+        servers: Sequence[Host],
+        size_dist: EmpiricalCdf,
+        bisection_bps: float,
+        config: WorkloadConfig,
+        collector: MetricsCollector,
+        connection_factory: Callable[[Host, Host, int], object],
+    ) -> None:
+        """``connection_factory(client, server, index)`` must return an
+        object with ``start_flow(nbytes, on_complete)`` (a TCP
+        :class:`~repro.transport.tcp.Connection` or an
+        :class:`~repro.transport.mptcp.MptcpConnection`)."""
+        if not 0.0 < config.load:
+            raise ValueError("load must be positive")
+        if not clients or not servers:
+            raise ValueError("need at least one client and one server")
+        self.sim = sim
+        self.config = config
+        self.collector = collector
+        self._size_rng = rng.stream("workload-sizes")
+        self._arrival_rng = rng.stream("workload-arrivals")
+        self._pair_rng = rng.stream("workload-pairs")
+        self.size_dist = size_dist
+        self.n_clients = len(clients)
+        self.jobs_submitted = 0
+        self.jobs_completed = 0
+
+        # Offered load: total_rate = load * bisection; split evenly over
+        # all connections.  mean interarrival = mean_size / per_conn_rate.
+        mean_size = size_dist.analytic_mean()
+        n_connections = len(clients) * config.connections_per_client
+        per_connection_bps = config.load * bisection_bps / n_connections
+        self.mean_interarrival = mean_size * 8.0 / per_connection_bps
+
+        if config.pairing not in ("random", "permutation"):
+            raise ValueError(f"unknown pairing {config.pairing!r}")
+        self._connections: List[object] = []
+        self._outstanding: List[int] = []
+        self._deferred: List[int] = []
+        servers = list(servers)
+        for i, client in enumerate(clients):
+            for c in range(config.connections_per_client):
+                if config.pairing == "random":
+                    server = self._pair_rng.choice(servers)
+                else:
+                    server = servers[(i + c) % len(servers)]
+                connection = connection_factory(client, server, c)
+                self._connections.append(connection)
+                self._outstanding.append(0)
+                self._deferred.append(0)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first arrival on every connection."""
+        for index in range(len(self._connections)):
+            self._schedule_arrival(index, first=True)
+
+    def _schedule_arrival(self, index: int, first: bool = False) -> None:
+        delay = self._arrival_rng.expovariate(1.0 / self.mean_interarrival)
+        if first:
+            delay += self.config.start_time
+        self.sim.schedule(delay, self._submit_job, index, 0)
+
+    def _submit_job(self, index: int, jobs_done_on_connection: int) -> None:
+        if self.jobs_submitted >= self.total_jobs:
+            return
+        if (
+            self.config.max_outstanding is not None
+            and self._outstanding[index] >= self.config.max_outstanding
+        ):
+            self._deferred[index] += 1
+            return
+        size = self.size_dist.sample(self._size_rng)
+        arrival = self.sim.now
+        self.jobs_submitted += 1
+        self._outstanding[index] += 1
+        record = self.collector.job_started(size, arrival)
+
+        def _on_complete() -> None:
+            self.collector.job_finished(record, self.sim.now)
+            self.jobs_completed += 1
+            self._outstanding[index] -= 1
+            if self._deferred[index] > 0:
+                self._deferred[index] -= 1
+                self._submit_job(index, 0)
+
+        self._connections[index].start_flow(size, _on_complete)
+        self._schedule_next(index)
+
+    def _schedule_next(self, index: int) -> None:
+        if self.jobs_submitted >= self.total_jobs:
+            return
+        delay = self._arrival_rng.expovariate(1.0 / self.mean_interarrival)
+        self.sim.schedule(delay, self._submit_job, index, 0)
+
+    @property
+    def total_jobs(self) -> int:
+        return self.config.jobs_per_client * self.n_clients
+
+    @property
+    def done(self) -> bool:
+        return self.jobs_completed >= self.total_jobs

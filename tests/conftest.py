@@ -1,0 +1,40 @@
+"""Shared fixtures: a tiny two-host network with pluggable policies."""
+
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.hypervisor.host import Host
+from repro.hypervisor.policy import LoadBalancer
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.topology.leafspine import LeafSpineConfig, build_leaf_spine
+from repro.topology.network import Network
+
+
+def make_fabric(
+    hosts_per_leaf: int = 2,
+    policy_factory=None,
+    seed: int = 1,
+    **topo_overrides,
+) -> Tuple[Simulator, Network, Dict[str, Host]]:
+    """Build a small leaf-spine fabric with hosts attached.
+
+    ``policy_factory(host_name, index)`` returns the LoadBalancer for each
+    host (None -> non-overlay pass-through).
+    """
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    cfg = LeafSpineConfig(hosts_per_leaf=hosts_per_leaf, **topo_overrides)
+    net = build_leaf_spine(sim, rng, cfg)
+    hosts = {}
+    for index, name in enumerate(sorted(net.hosts)):
+        policy = policy_factory(name, index) if policy_factory else None
+        hosts[name] = Host(sim, net, name, policy)
+    return sim, net, hosts
+
+
+@pytest.fixture
+def fabric():
+    """Default two-hosts-per-leaf fabric without overlay policies."""
+    return make_fabric()

@@ -1,0 +1,124 @@
+"""Tests for DCTCP and Presto-style reassembly in the virtual switch."""
+
+import pytest
+
+from repro.baselines.presto import PrestoPolicy
+from repro.net.packet import FlowKey, MSS, make_ack_packet, make_data_packet
+from repro.transport.dctcp import DctcpSender
+from repro.transport.tcp import FLAG_ECE, TcpReceiver
+
+from tests.conftest import make_fabric
+
+
+def _open_dctcp(hosts):
+    src, dst = hosts["h1_0"], hosts["h2_0"]
+    flow = FlowKey(src.ip, dst.ip, 4000, 80)
+    sender = DctcpSender(src.sim, src, flow)
+    receiver = TcpReceiver(dst.sim, dst, flow)
+    dst.register_endpoint(flow, receiver)
+    src.register_endpoint(flow.reversed(), sender)
+    return sender, receiver
+
+
+class TestDctcp:
+    def test_transfer_completes(self, fabric):
+        sim, net, hosts = fabric
+        sender, receiver = _open_dctcp(hosts)
+        sender.send(500_000)
+        sim.run(until=2.0)
+        assert receiver.rcv_nxt == 500_000
+
+    def test_alpha_decays_without_marks(self, fabric):
+        sim, net, hosts = fabric
+        sender, receiver = _open_dctcp(hosts)
+        sender.send(5_000_000)  # enough windows for the EWMA to move
+        sim.run(until=2.0)
+        # No marks anywhere: alpha (initialized to 1) must have decayed.
+        assert sender.alpha < 0.5
+
+    def test_fractional_reduction_gentler_than_halving(self, fabric):
+        sim, net, hosts = fabric
+        sender, _receiver = _open_dctcp(hosts)
+        sender.send(100_000_000)
+        sim.run(until=0.001)
+        sender.alpha = 0.1
+        cwnd = sender.cwnd
+        flow = sender.flow.reversed()
+        sender.on_packet(
+            make_ack_packet(flow, sender.snd_una + MSS, sim.now, flags=FLAG_ECE)
+        )
+        # cwnd *= (1 - alpha/2) = 0.95: a 5% cut, not 50%.
+        assert sender.cwnd == pytest.approx(cwnd * 0.95, rel=0.02)
+
+    def test_alpha_rises_under_persistent_marking(self):
+        sim, net, hosts = make_fabric(ecn_threshold_packets=0)
+        sender, receiver = _open_dctcp(hosts)
+        # Bypass the overlay (which would mask CE): mark inner directly by
+        # running without policies but forcing ECT on inner packets.
+        orig = hosts["h1_0"].send_from_guest
+        def ect_everything(packet):
+            packet.ect = True
+            orig(packet)
+        hosts["h1_0"].send_from_guest = ect_everything
+        sender.send(2_000_000)
+        sim.run(until=2.0)
+        assert sender.ecn_reductions > 0
+        assert sender.alpha > 0.05
+
+
+class TestPrestoReassemblyPath:
+    def _presto_fabric(self):
+        policies = {}
+
+        def factory(name, index):
+            policies[name] = PrestoPolicy(flowcell_bytes=2 * MSS)
+            return policies[name]
+
+        sim, net, hosts = make_fabric(policy_factory=factory)
+        # Install paths directly (skip discovery for unit scope).
+        from repro.net.packet import STT_DST_PORT
+        for name, host in hosts.items():
+            for other, o in hosts.items():
+                if other != name:
+                    leaf = net.switches["L1" if other.startswith("h1") else "L2"]
+                    group = leaf.routes[o.ip]
+                    ports, seen = [], set()
+                    for sport in range(49152, 49152 + 300):
+                        key = FlowKey(host.ip, o.ip, sport, STT_DST_PORT)
+                        idx = leaf.hasher.select(key, len(group))
+                        if idx not in seen:
+                            seen.add(idx)
+                            ports.append(sport)
+                        if len(ports) == len(group):
+                            break
+                    policies[name].set_paths(o.ip, ports, [(f"p{i}",) for i in range(len(ports))])
+        return sim, net, hosts, policies
+
+    def test_flow_completes_over_sprayed_cells(self):
+        sim, net, hosts, policies = self._presto_fabric()
+        from repro.transport.tcp import open_connection
+        connection = open_connection(hosts["h1_0"], hosts["h2_0"], 1000, 80)
+        done = []
+        connection.start_flow(1_000_000, lambda: done.append(sim.now))
+        sim.run(until=2.0)
+        assert done
+
+    def test_receiver_sees_in_order_despite_spraying(self):
+        sim, net, hosts, policies = self._presto_fabric()
+        from repro.transport.tcp import open_connection
+        connection = open_connection(hosts["h1_0"], hosts["h2_0"], 1000, 80)
+        connection.start_flow(500_000, lambda: None)
+        sim.run(until=2.0)
+        # Reassembly in the vswitch should hide almost all reordering from
+        # the guest: out-of-order arrivals at the TCP layer stay rare.
+        receiver = connection.receiver
+        assert receiver.rcv_nxt == 500_000
+        assert receiver.ooo_packets <= receiver.packets_received * 0.05
+
+    def test_flowcells_used_multiple_paths(self):
+        sim, net, hosts, policies = self._presto_fabric()
+        from repro.transport.tcp import open_connection
+        connection = open_connection(hosts["h1_0"], hosts["h2_0"], 1000, 80)
+        connection.start_flow(500_000, lambda: None)
+        sim.run(until=2.0)
+        assert policies["h1_0"].flowcells_started > 10

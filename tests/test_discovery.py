@@ -1,0 +1,140 @@
+"""Tests for traceroute path discovery (Section 3.1)."""
+
+import random
+
+import pytest
+
+from repro.core.discovery import DiscoveryConfig, PathDiscovery, select_disjoint
+from repro.hypervisor.host import Host
+
+from tests.conftest import make_fabric
+
+
+class TestSelectDisjoint:
+    def test_dedupes_identical_traces(self):
+        candidates = {
+            1: ("a", "b"),
+            2: ("a", "b"),   # same path, different port
+            3: ("c", "d"),
+        }
+        selection = select_disjoint(candidates, k=4)
+        assert len(selection) == 2
+        assert {trace for _p, trace in selection} == {("a", "b"), ("c", "d")}
+
+    def test_prefers_disjoint_paths(self):
+        candidates = {
+            1: ("up", "x1", "y1"),
+            2: ("up", "x1", "y2"),   # shares x1 with port 1
+            3: ("up", "x2", "y3"),   # disjoint from port 1 (except "up")
+            4: ("up", "x2", "y4"),
+        }
+        selection = select_disjoint(candidates, k=2)
+        traces = [t for _p, t in selection]
+        assert ("up", "x1", "y1") in traces
+        assert ("up", "x2", "y3") in traces
+
+    def test_k_limits_selection(self):
+        candidates = {i: (f"l{i}",) for i in range(10)}
+        assert len(select_disjoint(candidates, k=3)) == 3
+
+    def test_deterministic_tie_break_by_port(self):
+        candidates = {5: ("a",), 3: ("b",), 9: ("c",)}
+        first = select_disjoint(candidates, k=1)
+        assert first[0][0] == 3  # lowest port wins ties
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            select_disjoint({1: ("a",)}, k=0)
+
+
+def _fabric_with_probers(asymmetric=False, **disc_kwargs):
+    sim, net, hosts = make_fabric(hosts_per_leaf=2)
+    if asymmetric:
+        net.fail_cable("L2", "S2", 0)
+    updates = {}
+    for name, host in hosts.items():
+        def _update(dst, ports, traces, _n=name):
+            updates.setdefault(_n, {})[dst] = (ports, traces)
+        host.prober = PathDiscovery(
+            sim, host, random.Random(hash(name) & 0xFFFF),
+            config=DiscoveryConfig(
+                k_paths=4, n_candidate_ports=24, max_ttl=5,
+                round_timeout=2e-3, **disc_kwargs,
+            ),
+            on_update=_update,
+        )
+    return sim, net, hosts, updates
+
+
+class TestPathDiscovery:
+    def test_discovers_four_disjoint_paths_cross_leaf(self):
+        sim, net, hosts, updates = _fabric_with_probers()
+        dst = net.host_ip("h2_0")
+        hosts["h1_0"].prober.notice_destination(dst)
+        sim.run(until=0.02)
+        ports, traces = updates["h1_0"][dst]
+        assert len(ports) == 4
+        # All four fabric paths are distinct and pairwise disjoint in the
+        # leaf->spine and spine->leaf links.
+        fabric_legs = [tuple(l for l in t if "->" in l and not l.startswith("h")) for t in traces]
+        assert len(set(fabric_legs)) == 4
+        seen_links = [link for legs in fabric_legs for link in legs]
+        assert len(seen_links) == len(set(seen_links))
+
+    def test_same_leaf_destination_single_path(self):
+        sim, net, hosts, updates = _fabric_with_probers()
+        dst = net.host_ip("h1_1")
+        hosts["h1_0"].prober.notice_destination(dst)
+        sim.run(until=0.02)
+        ports, traces = updates["h1_0"][dst]
+        assert len(ports) == 1
+
+    def test_asymmetric_failure_reduces_distinct_paths(self):
+        sim, net, hosts, updates = _fabric_with_probers(asymmetric=True)
+        dst = net.host_ip("h2_0")
+        hosts["h1_0"].prober.notice_destination(dst)
+        sim.run(until=0.02)
+        ports, traces = updates["h1_0"][dst]
+        # Paths via S2 collapse onto the single surviving cable: the two
+        # S1 paths stay disjoint, S2 paths share the S2->L2 downlink.
+        assert 3 <= len(ports) <= 4
+        downlinks = [l for t in traces for l in t if l.startswith("S2->L2")]
+        assert all(d == "S2->L2#1" for d in downlinks)
+
+    def test_reprobe_after_failure_updates_mapping(self):
+        sim, net, hosts, updates = _fabric_with_probers(probe_interval=0.05)
+        dst = net.host_ip("h2_0")
+        hosts["h1_0"].prober.notice_destination(dst)
+        sim.run(until=0.02)
+        _ports, traces_before = updates["h1_0"][dst]
+        net.fail_cable("L2", "S2", 0)
+        sim.run(until=0.2)  # at least one reprobe round fires
+        _ports, traces_after = updates["h1_0"][dst]
+        assert traces_before != traces_after
+        assert all("S2->L2#0" not in t for t in traces_after)
+
+    def test_notice_is_idempotent(self):
+        sim, net, hosts, updates = _fabric_with_probers()
+        dst = net.host_ip("h2_0")
+        prober = hosts["h1_0"].prober
+        prober.notice_destination(dst)
+        probes_first = prober.probes_sent
+        prober.notice_destination(dst)
+        assert prober.probes_sent == probes_first
+
+    def test_own_ip_ignored(self):
+        sim, net, hosts, updates = _fabric_with_probers()
+        prober = hosts["h1_0"].prober
+        prober.notice_destination(hosts["h1_0"].ip)
+        sim.run(until=0.02)
+        assert prober.probes_sent == 0
+
+    def test_paths_for_returns_latest_selection(self):
+        sim, net, hosts, updates = _fabric_with_probers()
+        dst = net.host_ip("h2_0")
+        hosts["h1_0"].prober.notice_destination(dst)
+        sim.run(until=0.02)
+        selection = hosts["h1_0"].prober.paths_for(dst)
+        assert selection == [
+            (p, t) for p, t in zip(*updates["h1_0"][dst])
+        ]

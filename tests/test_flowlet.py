@@ -1,0 +1,89 @@
+"""Tests for the flowlet table (Section 3.2)."""
+
+import pytest
+
+from repro.core.flowlet import FlowletTable
+from repro.net.packet import FlowKey
+
+
+KEY = FlowKey(1, 2, 100, 80)
+
+
+class TestFlowletTable:
+    def test_first_packet_starts_a_flowlet(self):
+        table = FlowletTable(gap=1e-3)
+        port, flowlet_id = table.lookup(KEY, now=0.0)
+        assert port is None
+        assert flowlet_id == 0
+
+    def test_packets_within_gap_share_port(self):
+        table = FlowletTable(gap=1e-3)
+        table.lookup(KEY, 0.0)
+        table.assign(KEY, 5555, 0.0)
+        port, _ = table.lookup(KEY, 0.0005)
+        assert port == 5555
+
+    def test_gap_exceeded_starts_new_flowlet(self):
+        table = FlowletTable(gap=1e-3)
+        table.lookup(KEY, 0.0)
+        table.assign(KEY, 5555, 0.0)
+        port, flowlet_id = table.lookup(KEY, 0.0025)
+        assert port is None
+        assert flowlet_id == 1
+
+    def test_boundary_exactly_at_gap_is_same_flowlet(self):
+        table = FlowletTable(gap=1e-3)
+        table.assign(KEY, 5555, 0.0)
+        port, _ = table.lookup(KEY, 1e-3)  # not strictly greater
+        assert port == 5555
+
+    def test_last_seen_refreshes_on_activity(self):
+        table = FlowletTable(gap=1e-3)
+        table.assign(KEY, 5555, 0.0)
+        # Touch every 0.8ms: never exceeds the gap even past 2ms total.
+        for i in range(1, 5):
+            port, _ = table.lookup(KEY, i * 0.0008)
+            assert port == 5555
+
+    def test_flowlet_id_increments_per_reassignment(self):
+        table = FlowletTable(gap=1e-3)
+        table.assign(KEY, 1, 0.0)
+        assert table.assign(KEY, 2, 0.01) == 1
+        assert table.assign(KEY, 3, 0.02) == 2
+
+    def test_flows_are_independent(self):
+        table = FlowletTable(gap=1e-3)
+        other = FlowKey(1, 2, 101, 80)
+        table.assign(KEY, 1111, 0.0)
+        port, _ = table.lookup(other, 0.0)
+        assert port is None
+        port, _ = table.lookup(KEY, 0.0005)
+        assert port == 1111
+
+    def test_reassign_ports_remaps_existing_entries(self):
+        table = FlowletTable(gap=1e-3)
+        table.assign(KEY, 1111, 0.0)
+        table.reassign_ports({1111: 2222})
+        port, _ = table.lookup(KEY, 0.0005)
+        assert port == 2222
+
+    def test_counters(self):
+        table = FlowletTable(gap=1e-3)
+        table.lookup(KEY, 0.0)
+        table.assign(KEY, 1, 0.0)
+        table.lookup(KEY, 0.0005)
+        assert table.flowlets_created == 1
+        assert table.lookups == 2
+
+    def test_invalid_gap_rejected(self):
+        with pytest.raises(ValueError):
+            FlowletTable(gap=0.0)
+
+    def test_eviction_bounds_table_size(self):
+        table = FlowletTable(gap=1e-6, evict_after_gaps=10.0)
+        for i in range(2000):
+            key = FlowKey(1, 2, i, 80)
+            table.assign(key, i, 0.0)
+        # A lookup far in the future sweeps the stale entries.
+        table.lookup(FlowKey(9, 9, 9, 9), 1.0)
+        assert len(table) < 2000

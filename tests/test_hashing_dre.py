@@ -1,0 +1,92 @@
+"""Unit tests for ECMP hashing and the discounting rate estimator."""
+
+import pytest
+
+from repro.net.dre import DiscountingRateEstimator
+from repro.net.hashing import EcmpHasher, fnv1a_64
+from repro.net.packet import FlowKey
+
+
+class TestEcmpHasher:
+    def test_static_for_same_key(self):
+        hasher = EcmpHasher(123)
+        key = FlowKey(1, 2, 3, 4)
+        assert hasher.select(key, 4) == hasher.select(key, 4)
+
+    def test_different_seeds_give_different_mappings(self):
+        key_set = [FlowKey(1, 2, p, 80) for p in range(200)]
+        a = EcmpHasher(1)
+        b = EcmpHasher(2)
+        choices_a = [a.select(k, 4) for k in key_set]
+        choices_b = [b.select(k, 4) for k in key_set]
+        assert choices_a != choices_b
+
+    def test_reasonably_uniform_over_ports(self):
+        hasher = EcmpHasher(7)
+        counts = [0, 0, 0, 0]
+        for sport in range(49152, 49152 + 4000):
+            counts[hasher.select(FlowKey(1, 2, sport, 7471), 4)] += 1
+        for count in counts:
+            assert 800 < count < 1200  # within 20% of uniform
+
+    def test_group_size_change_remaps_many_keys(self):
+        # The property the paper leans on: shrinking the ECMP group
+        # remaps ports en masse, forcing rediscovery.
+        hasher = EcmpHasher(99)
+        keys = [FlowKey(1, 2, p, 7471) for p in range(49152, 49552)]
+        before = [hasher.select(k, 4) for k in keys]
+        after = [hasher.select(k, 3) for k in keys]
+        changed = sum(1 for b, a in zip(before, after) if b != a % 4 or b >= 3)
+        assert changed > len(keys) / 4
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            EcmpHasher(0).select(FlowKey(1, 2, 3, 4), 0)
+
+    def test_fnv_known_value(self):
+        # FNV-1a of empty input is the offset basis.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+
+class TestDre:
+    def test_utilization_tracks_line_rate(self):
+        dre = DiscountingRateEstimator(rate_bps=1e9)
+        # Send at exactly line rate for a while: 125 bytes per microsecond.
+        t = 0.0
+        for _ in range(2000):
+            dre.record(125, t)
+            t += 1e-6
+        assert dre.utilization(t) == pytest.approx(1.0, rel=0.15)
+
+    def test_half_rate(self):
+        dre = DiscountingRateEstimator(rate_bps=1e9)
+        t = 0.0
+        for _ in range(2000):
+            dre.record(125, t)
+            t += 2e-6
+        assert dre.utilization(t) == pytest.approx(0.5, rel=0.15)
+
+    def test_decays_to_zero_when_idle(self):
+        dre = DiscountingRateEstimator(rate_bps=1e9)
+        dre.record(10000, 0.0)
+        assert dre.utilization(1.0) == 0.0
+
+    def test_monotone_decay(self):
+        dre = DiscountingRateEstimator(rate_bps=1e9)
+        dre.record(100000, 0.0)
+        u1 = dre.utilization(100e-6)
+        u2 = dre.utilization(200e-6)
+        assert u2 < u1
+
+    def test_quantized_range(self):
+        dre = DiscountingRateEstimator(rate_bps=1e9)
+        assert dre.quantized(0.0, bits=3) == 0
+        for _ in range(100):
+            dre.record(100000, 0.0)
+        assert dre.quantized(0.0, bits=3) == 7  # saturates at max level
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            DiscountingRateEstimator(rate_bps=0)
+        with pytest.raises(ValueError):
+            DiscountingRateEstimator(rate_bps=1e9, alpha=1.5)

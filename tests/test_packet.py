@@ -1,0 +1,93 @@
+"""Unit tests for packets and header handling."""
+
+import pytest
+
+from repro.net.packet import (
+    ACK_BYTES,
+    ENCAP_BYTES,
+    FlowKey,
+    HEADER_BYTES,
+    Packet,
+    make_ack_packet,
+    make_data_packet,
+)
+
+
+class TestFlowKey:
+    def test_reversed_swaps_endpoints(self):
+        key = FlowKey(1, 2, 100, 200)
+        rev = key.reversed()
+        assert rev == FlowKey(2, 1, 200, 100)
+        assert rev.reversed() == key
+
+    def test_hashable_and_equal(self):
+        assert FlowKey(1, 2, 3, 4) == FlowKey(1, 2, 3, 4)
+        assert len({FlowKey(1, 2, 3, 4), FlowKey(1, 2, 3, 4)}) == 1
+
+    def test_as_tuple(self):
+        assert FlowKey(1, 2, 3, 4, 17).as_tuple() == (1, 2, 3, 4, 17)
+
+    def test_default_proto_is_tcp(self):
+        assert FlowKey(1, 2, 3, 4).proto == 6
+
+
+class TestEncapsulation:
+    def test_encapsulate_adds_header_bytes(self):
+        packet = make_data_packet(FlowKey(1, 2, 3, 4), 0, 1000, 0.0)
+        size_before = packet.size
+        packet.encapsulate(FlowKey(10, 20, 5000, 7471))
+        assert packet.size == size_before + ENCAP_BYTES
+        assert packet.outer == FlowKey(10, 20, 5000, 7471)
+
+    def test_decapsulate_restores_size_and_returns_outer(self):
+        packet = make_data_packet(FlowKey(1, 2, 3, 4), 0, 1000, 0.0)
+        outer = FlowKey(10, 20, 5000, 7471)
+        packet.encapsulate(outer)
+        assert packet.decapsulate() == outer
+        assert packet.outer is None
+        assert packet.size == 1000 + HEADER_BYTES
+
+    def test_double_encapsulation_rejected(self):
+        packet = make_data_packet(FlowKey(1, 2, 3, 4), 0, 100, 0.0)
+        packet.encapsulate(FlowKey(10, 20, 1, 2))
+        with pytest.raises(ValueError):
+            packet.encapsulate(FlowKey(10, 20, 1, 2))
+
+    def test_decapsulate_plain_packet_rejected(self):
+        packet = make_data_packet(FlowKey(1, 2, 3, 4), 0, 100, 0.0)
+        with pytest.raises(ValueError):
+            packet.decapsulate()
+
+    def test_route_key_prefers_outer(self):
+        packet = make_data_packet(FlowKey(1, 2, 3, 4), 0, 100, 0.0)
+        assert packet.route_key == packet.inner
+        outer = FlowKey(10, 20, 1, 2)
+        packet.encapsulate(outer)
+        assert packet.route_key == outer
+
+    def test_ect_set_by_encapsulation_flag(self):
+        packet = make_data_packet(FlowKey(1, 2, 3, 4), 0, 100, 0.0)
+        packet.encapsulate(FlowKey(10, 20, 1, 2), ect=False)
+        assert not packet.ect
+        packet2 = make_data_packet(FlowKey(1, 2, 3, 4), 0, 100, 0.0)
+        packet2.encapsulate(FlowKey(10, 20, 1, 2), ect=True)
+        assert packet2.ect
+
+
+class TestHelpers:
+    def test_ack_packet_shape(self):
+        ack = make_ack_packet(FlowKey(2, 1, 200, 100), 5000, 1.0)
+        assert ack.is_ack
+        assert ack.payload_bytes == 0
+        assert ack.ack == 5000
+        assert ack.size == ACK_BYTES
+
+    def test_data_packet_is_not_ack(self):
+        data = make_data_packet(FlowKey(1, 2, 3, 4), 0, 1460, 0.0)
+        assert not data.is_ack
+        assert data.ack == -1
+
+    def test_packet_ids_unique(self):
+        a = make_data_packet(FlowKey(1, 2, 3, 4), 0, 10, 0.0)
+        b = make_data_packet(FlowKey(1, 2, 3, 4), 0, 10, 0.0)
+        assert a.pid != b.pid

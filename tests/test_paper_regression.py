@@ -1,0 +1,63 @@
+"""Headline regression: the paper's core qualitative claim at small scale.
+
+Under a spine-leaf cable failure at 50% load, congestion-oblivious ECMP
+must visibly lose to Clove-ECN.  This is the one end-to-end property the
+whole repository exists to demonstrate, pinned here at a seed/scale where
+it is deterministic and fast (~7s); the benchmarks assert it at the
+figure scale.
+"""
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+
+
+@pytest.fixture(scope="module")
+def headline():
+    """One paired (same-seed) ECMP vs Clove-ECN comparison."""
+    results = {}
+    for scheme in ("ecmp", "clove-ecn"):
+        results[scheme] = run_experiment(
+            ExperimentConfig(
+                scheme=scheme, load=0.5, asymmetric=True,
+                seed=1, jobs_per_client=100, flow_scale=1 / 40,
+            )
+        )
+    return results
+
+
+def test_all_jobs_complete(headline):
+    for result in headline.values():
+        assert result.collector.completion_rate == 1.0
+
+
+def test_clove_beats_ecmp_under_asymmetry(headline):
+    ecmp = headline["ecmp"].avg_fct
+    clove = headline["clove-ecn"].avg_fct
+    assert clove * 1.5 < ecmp, (
+        f"Clove-ECN ({clove*1000:.3f}ms) should clearly beat ECMP "
+        f"({ecmp*1000:.3f}ms) at 50% load with a failed cable"
+    )
+
+
+def test_clove_tail_also_better(headline):
+    assert headline["clove-ecn"].p99_fct < headline["ecmp"].p99_fct
+
+
+def test_clove_spreads_traffic_off_the_bottleneck(headline):
+    """ECMP keeps hashing onto the degraded spine; Clove steers away.
+
+    Clove only vacates S2 as far as ECN pressure demands (it will happily
+    run the surviving cable near capacity), so the check is relative: its
+    S2 share must be below ECMP's, and S2 must not be overloaded.
+    """
+    def s2_share(result):
+        net = result.net
+        s2 = sum(l.tx_bytes for l in net.links[("S2", "L2")])
+        s1 = sum(l.tx_bytes for l in net.links[("S1", "L2")])
+        return s2 / (s1 + s2)
+
+    clove = s2_share(headline["clove-ecn"])
+    ecmp = s2_share(headline["ecmp"])
+    assert clove < ecmp
+    assert clove < 0.5  # never more than the pre-failure hash share

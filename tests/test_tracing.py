@@ -1,0 +1,89 @@
+"""Tests for the packet path tracer."""
+
+import pytest
+
+from repro.core.clove import CloveEcnPolicy, CloveParams
+from repro.net.tracing import PathTracer
+from repro.transport.tcp import open_connection
+
+from tests.conftest import make_fabric
+
+
+def _traced_transfer(policy_factory=None, nbytes=300_000):
+    sim, net, hosts = make_fabric(policy_factory=policy_factory)
+    tracer = PathTracer(match=lambda p: p.payload_bytes > 0)
+    hosts["h1_0"].send_from_guest = tracer.wrap(hosts["h1_0"].send_from_guest)
+    connection = open_connection(hosts["h1_0"], hosts["h2_0"], 1000, 80)
+    connection.start_flow(nbytes, lambda: None)
+    sim.run(until=2.0)
+    return tracer
+
+
+class TestPathTracer:
+    def test_records_switch_hops(self):
+        tracer = _traced_transfer()
+        paths = tracer.paths()
+        assert paths
+        # Every cross-leaf data path is leaf -> spine -> leaf.
+        for path in paths:
+            hops = [tag.split("<")[0] for tag in path]
+            assert hops[0] == "L1"
+            assert hops[1] in ("S1", "S2")
+            assert hops[2] == "L2"
+
+    def test_single_path_without_policy(self):
+        # Non-overlay pass-through: the inner 5-tuple is fixed, so ECMP
+        # pins the whole flow to one path.
+        tracer = _traced_transfer()
+        assert len(tracer.path_counts()) == 1
+        assert tracer.spread() == 0.0
+
+    def test_flowlet_policy_spreads_paths(self):
+        def factory(name, index):
+            policy = CloveEcnPolicy(CloveParams(flowlet_gap=1e-6))
+            policy.set_paths(0, [1], [("x",)])  # replaced below per dst
+            return policy
+
+        sim, net, hosts = make_fabric(policy_factory=factory)
+        # Give the sender's policy real ports for all four paths.
+        from repro.net.packet import FlowKey, STT_DST_PORT
+        policy = hosts["h1_0"].vswitch.policy
+        leaf = net.switches["L1"]
+        dst_ip = hosts["h2_0"].ip
+        group = leaf.routes[dst_ip]
+        ports, seen = [], set()
+        for sport in range(49152, 49152 + 400):
+            key = FlowKey(hosts["h1_0"].ip, dst_ip, sport, STT_DST_PORT)
+            idx = leaf.hasher.select(key, len(group))
+            if idx not in seen:
+                seen.add(idx)
+                ports.append(sport)
+        policy.set_paths(dst_ip, ports, [(f"p{i}",) for i in range(len(ports))])
+        hosts["h2_0"].vswitch.policy.set_paths(
+            hosts["h1_0"].ip, [50001], [("r",)]
+        )
+        tracer = PathTracer(match=lambda p: p.payload_bytes > 0)
+        hosts["h1_0"].send_from_guest = tracer.wrap(hosts["h1_0"].send_from_guest)
+        connection = open_connection(hosts["h1_0"], hosts["h2_0"], 1000, 80)
+        connection.start_flow(500_000, lambda: None)
+        sim.run(until=2.0)
+        assert len(tracer.path_counts()) > 1
+        assert tracer.spread() > 0.1
+
+    def test_limit_caps_tracing(self):
+        sim, net, hosts = make_fabric()
+        tracer = PathTracer(limit=5)
+        hosts["h1_0"].send_from_guest = tracer.wrap(hosts["h1_0"].send_from_guest)
+        connection = open_connection(hosts["h1_0"], hosts["h2_0"], 1000, 80)
+        connection.start_flow(100_000, lambda: None)
+        sim.run(until=1.0)
+        assert len(tracer.traced) == 5
+
+    def test_format_summary(self):
+        tracer = _traced_transfer()
+        text = tracer.format_summary()
+        assert "distinct paths" in text
+        assert "L1" in text
+
+    def test_empty_summary(self):
+        assert PathTracer().format_summary() == "(no traced packets)"

@@ -1,0 +1,154 @@
+"""Tests for the weighted path table (Section 3.2's WRR + weight adaptation)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.weights import WeightedPathTable
+
+DST = 42
+PORTS = [5001, 5002, 5003, 5004]
+TRACES = [("a",), ("b",), ("c",), ("d",)]
+
+
+def _table(**kwargs):
+    table = WeightedPathTable(**kwargs)
+    table.set_paths(DST, PORTS, TRACES)
+    return table
+
+
+class TestWrr:
+    def test_uniform_weights_rotate_evenly(self):
+        table = _table()
+        picks = Counter(table.next_port(DST) for _ in range(400))
+        for port in PORTS:
+            assert picks[port] == 100
+
+    def test_weighted_rotation_respects_ratios(self):
+        table = _table()
+        table.set_static_weights(DST, [0.5, 0.25, 0.125, 0.125])
+        picks = Counter(table.next_port(DST) for _ in range(800))
+        assert picks[PORTS[0]] == pytest.approx(400, abs=8)
+        assert picks[PORTS[1]] == pytest.approx(200, abs=8)
+
+    def test_smooth_wrr_interleaves(self):
+        table = _table()
+        table.set_static_weights(DST, [0.5, 0.5, 1e-9, 1e-9])
+        seq = [table.next_port(DST) for _ in range(10)]
+        # The two heavy ports must alternate, not run in blocks.
+        assert all(seq[i] != seq[i + 1] for i in range(9))
+
+    def test_unknown_destination_raises(self):
+        table = WeightedPathTable()
+        with pytest.raises(KeyError):
+            table.next_port(999)
+
+
+class TestCongestionAdaptation:
+    def test_mark_congested_reduces_weight_by_factor(self):
+        table = _table(reduction_factor=1 / 3)
+        table.mark_congested(DST, PORTS[0], now=0.0)
+        weights = table.weights_for(DST)
+        assert weights[PORTS[0]] == pytest.approx(0.25 * 2 / 3)
+
+    def test_removed_weight_spread_over_uncongested(self):
+        table = _table(reduction_factor=1 / 3)
+        table.mark_congested(DST, PORTS[0], now=0.0)
+        weights = table.weights_for(DST)
+        removed = 0.25 / 3
+        for port in PORTS[1:]:
+            assert weights[port] == pytest.approx(0.25 + removed / 3)
+
+    def test_weights_always_sum_to_one(self):
+        table = _table()
+        for i in range(50):
+            table.mark_congested(DST, PORTS[i % 4], now=i * 1e-6)
+            assert sum(table.weights_for(DST).values()) == pytest.approx(1.0)
+
+    def test_congested_paths_excluded_from_redistribution(self):
+        table = _table(reduction_factor=1 / 3, congestion_expiry=1.0)
+        table.mark_congested(DST, PORTS[0], now=0.0)
+        w_before = table.weights_for(DST)[PORTS[0]]
+        table.mark_congested(DST, PORTS[1], now=0.0)
+        # Port 0 is still congested: it must not gain from port 1's loss.
+        assert table.weights_for(DST)[PORTS[0]] <= w_before + 1e-9
+
+    def test_congestion_expires(self):
+        table = _table(congestion_expiry=1e-3)
+        table.mark_congested(DST, PORTS[0], now=0.0)
+        assert not table.all_congested(DST, now=0.0)
+        for port in PORTS[1:]:
+            table.mark_congested(DST, port, now=0.0)
+        assert table.all_congested(DST, now=0.0)
+        assert not table.all_congested(DST, now=0.01)
+
+    def test_weight_never_collapses_to_zero(self):
+        table = _table()
+        for _ in range(200):
+            table.mark_congested(DST, PORTS[0], now=0.0)
+        assert table.weights_for(DST)[PORTS[0]] > 0
+
+    def test_mark_unknown_port_is_noop(self):
+        table = _table()
+        before = table.weights_for(DST)
+        table.mark_congested(DST, 9999, now=0.0)
+        assert table.weights_for(DST) == before
+
+    def test_invalid_reduction_factor(self):
+        with pytest.raises(ValueError):
+            WeightedPathTable(reduction_factor=0.0)
+        with pytest.raises(ValueError):
+            WeightedPathTable(reduction_factor=1.0)
+
+
+class TestUtilization:
+    def test_least_utilized_prefers_lowest(self):
+        table = _table(util_aging=0.0)
+        table.record_util(DST, PORTS[0], 0.9)
+        table.record_util(DST, PORTS[1], 0.2)
+        table.record_util(DST, PORTS[2], 0.5)
+        table.record_util(DST, PORTS[3], 0.7)
+        assert table.least_utilized_port(DST) == PORTS[1]
+
+    def test_ties_rotate_round_robin(self):
+        table = _table(util_aging=0.0)
+        picks = {table.least_utilized_port(DST) for _ in range(8)}
+        assert picks == set(PORTS)  # all utils equal (0) -> rotation
+
+    def test_stale_estimates_age_out(self):
+        table = _table(util_aging=1e-3)
+        table.record_util(DST, PORTS[0], 1.0, now=0.0)
+        for port in PORTS[1:]:
+            table.record_util(DST, port, 0.4, now=0.01)
+        # Port 0's estimate is 10 time constants old: effectively zero.
+        assert table.least_utilized_port(DST, now=0.01) == PORTS[0]
+
+    def test_util_of_unknown_port(self):
+        table = _table()
+        assert table.util_of(DST, 12345) == 0.0
+
+
+class TestPathRemapping:
+    def test_state_carries_over_by_trace(self):
+        table = _table(congestion_expiry=10.0)
+        table.mark_congested(DST, PORTS[0], now=0.0)
+        weight_before = table.weights_for(DST)[PORTS[0]]
+        # Rediscovery maps the same physical paths to new ports.
+        new_ports = [6001, 6002, 6003, 6004]
+        remap = table.set_paths(DST, new_ports, TRACES)
+        assert remap == {PORTS[i]: new_ports[i] for i in range(4)}
+        assert table.weights_for(DST)[6001] == pytest.approx(weight_before)
+        assert table.all_congested(DST, 0.0) is False
+
+    def test_new_traces_reset_to_uniform(self):
+        table = _table()
+        table.mark_congested(DST, PORTS[0], now=0.0)
+        table.set_paths(DST, [7001, 7002], [("x",), ("y",)])
+        weights = table.weights_for(DST)
+        assert weights[7001] == pytest.approx(0.5)
+        assert weights[7002] == pytest.approx(0.5)
+
+    def test_empty_ports_rejected(self):
+        table = WeightedPathTable()
+        with pytest.raises(ValueError):
+            table.set_paths(DST, [])

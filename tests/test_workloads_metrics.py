@@ -1,0 +1,141 @@
+"""Tests for workload generation and metrics collection."""
+
+import random
+
+import pytest
+
+from repro.metrics.collector import MetricsCollector, percentile
+from repro.workloads.distributions import EmpiricalCdf, web_search_distribution
+
+
+class TestEmpiricalCdf:
+    def test_samples_within_support(self):
+        dist = web_search_distribution()
+        rng = random.Random(1)
+        for _ in range(1000):
+            size = dist.sample(rng)
+            assert 1_000 <= size <= 20_000_000
+
+    def test_heavy_tail_shape(self):
+        # Most flows are small; most bytes come from large flows.
+        dist = web_search_distribution()
+        rng = random.Random(2)
+        samples = [dist.sample(rng) for _ in range(20_000)]
+        small = sum(1 for s in samples if s < 100_000)
+        assert small / len(samples) > 0.5
+        samples.sort()
+        top_decile_bytes = sum(samples[-len(samples) // 10:])
+        assert top_decile_bytes / sum(samples) > 0.5
+
+    def test_scale_shrinks_sizes_proportionally(self):
+        full = web_search_distribution(scale=1.0)
+        tenth = web_search_distribution(scale=0.1)
+        assert tenth.analytic_mean() == pytest.approx(full.analytic_mean() * 0.1, rel=0.01)
+
+    def test_analytic_mean_matches_monte_carlo(self):
+        dist = web_search_distribution()
+        assert dist.analytic_mean() == pytest.approx(dist.mean(samples=100_000), rel=0.05)
+
+    def test_mean_in_published_ballpark(self):
+        # The web-search workload's mean flow size is ~1.6MB.
+        mean = web_search_distribution().analytic_mean()
+        assert 1e6 < mean < 2.5e6
+
+    def test_deterministic_given_rng(self):
+        dist = web_search_distribution()
+        a = [dist.sample(random.Random(7)) for _ in range(10)]
+        b = [dist.sample(random.Random(7)) for _ in range(10)]
+        assert a == b
+
+    def test_invalid_knots_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(100, 0.5)])  # single knot
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(100, 0.5), (50, 1.0)])  # sizes not sorted
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(100, 0.5), (200, 0.9)])  # doesn't reach 1.0
+        with pytest.raises(ValueError):
+            EmpiricalCdf([(100, 0.5), (200, 1.0)], scale=0)
+
+
+class TestPercentile:
+    def test_exact_values(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_single_value(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestMetricsCollector:
+    def test_job_lifecycle(self):
+        collector = MetricsCollector()
+        record = collector.job_started(1000, arrival=1.0)
+        collector.job_finished(record, completion=1.5)
+        assert record.fct == pytest.approx(0.5)
+        assert collector.completion_rate == 1.0
+
+    def test_incomplete_jobs_excluded_from_summary(self):
+        collector = MetricsCollector()
+        done = collector.job_started(1000, 0.0)
+        collector.job_started(1000, 0.0)  # never finishes
+        collector.job_finished(done, 2.0)
+        summary = collector.summary()
+        assert summary.count == 1
+        assert collector.completion_rate == 0.5
+
+    def test_size_bucket_filters(self):
+        collector = MetricsCollector()
+        small = collector.job_started(50_000, 0.0)
+        large = collector.job_started(20_000_000, 0.0)
+        collector.job_finished(small, 1.0)
+        collector.job_finished(large, 10.0)
+        assert collector.summary(max_size=100_000).mean == pytest.approx(1.0)
+        assert collector.summary(min_size=10_000_000).mean == pytest.approx(10.0)
+
+    def test_summary_percentiles(self):
+        collector = MetricsCollector()
+        for i in range(100):
+            record = collector.job_started(1000, 0.0)
+            collector.job_finished(record, float(i + 1))
+        summary = collector.summary()
+        assert summary.p50 == pytest.approx(50.0)
+        assert summary.p99 == pytest.approx(99.0)
+        assert summary.max == pytest.approx(100.0)
+
+    def test_cdf_monotone_and_complete(self):
+        collector = MetricsCollector()
+        for i in range(50):
+            record = collector.job_started(1000, 0.0)
+            collector.job_finished(record, float(i + 1))
+        cdf = collector.cdf()
+        xs = [x for x, _ in cdf]
+        ys = [y for _, y in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_double_finish_rejected(self):
+        collector = MetricsCollector()
+        record = collector.job_started(1000, 0.0)
+        collector.job_finished(record, 1.0)
+        with pytest.raises(ValueError):
+            collector.job_finished(record, 2.0)
+
+    def test_completion_before_arrival_rejected(self):
+        collector = MetricsCollector()
+        record = collector.job_started(1000, 5.0)
+        with pytest.raises(ValueError):
+            collector.job_finished(record, 1.0)
+
+    def test_empty_summary_is_none(self):
+        assert MetricsCollector().summary() is None
+        assert MetricsCollector().cdf() == []
