@@ -18,6 +18,7 @@ from repro.hypervisor.host import Host
 from repro.net.packet import FlowKey, STT_DST_PORT
 from repro.net.tracing import PathTracer
 from repro.sim.engine import Simulator
+from repro.telemetry import EventLog
 from repro.sim.rng import RngRegistry
 from repro.topology.leafspine import LeafSpineConfig, build_leaf_spine
 from repro.transport.tcp import open_connection
@@ -78,7 +79,16 @@ def run_one(policy_name: str) -> None:
 
     print(f"--- {policy_name} ---")
     print(tracer.format_summary())
-    print(f"spread: {tracer.spread():.2f}\n")
+    print(f"spread: {tracer.spread():.2f}")
+
+    # The same traces as structured telemetry: one `path.trace` event per
+    # packet, ready for `EventLog.write_jsonl` / offline analysis.
+    log = EventLog(capacity=65536)
+    emitted = tracer.to_events(log)
+    first = log.tail(1)[0] if emitted else None
+    print(f"bridged {emitted} path.trace events"
+          + (f" (first: t={first.time:.6f} path={first.fields['path']})"
+             if first else "") + "\n")
 
 
 def main() -> None:

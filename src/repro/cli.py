@@ -2,11 +2,12 @@
 
 Subcommands:
 
-* ``run``     — one experiment point, prints the FCT summary;
-* ``sweep``   — scheme x load grid, prints the figure-style table;
-* ``figure``  — regenerate one of the paper's figures by name;
-* ``incast``  — the Figure 7 fan-in experiment;
-* ``schemes`` — list the available load-balancing schemes.
+* ``run``       — one experiment point, prints the FCT summary;
+* ``sweep``     — scheme x load grid, prints the figure-style table;
+* ``figure``    — regenerate one of the paper's figures by name;
+* ``incast``    — the Figure 7 fan-in experiment;
+* ``schemes``   — list the available load-balancing schemes;
+* ``telemetry`` — inspect a ``--telemetry-out`` JSONL artifact.
 """
 
 from __future__ import annotations
@@ -18,6 +19,46 @@ from typing import List, Optional
 from repro.harness.experiment import ExperimentConfig, SCHEMES, run_experiment
 from repro.harness.report import render_bar_chart, render_cdf, render_table
 from repro.harness.sweep import sweep_loads
+from repro.telemetry import Telemetry, load_jsonl
+from repro.telemetry.render import render_dump
+
+
+def _add_telemetry_opts(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry-out", metavar="FILE", default=None,
+                        help="write a telemetry artifact (JSONL) to FILE; "
+                             "inspect it with `repro telemetry FILE`")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the simulator loop (implies telemetry; "
+                             "summary printed to stderr)")
+
+
+def _make_telemetry(args) -> Optional[Telemetry]:
+    """Build the telemetry scope a subcommand asked for (or None).
+
+    Fails fast (exit 2) when ``--telemetry-out`` is unwritable, instead of
+    discovering that after minutes of simulation.
+    """
+    if args.telemetry_out is None and not args.profile:
+        return None
+    if args.telemetry_out is not None:
+        try:
+            with open(args.telemetry_out, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"cannot write {args.telemetry_out!r}: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+    return Telemetry(profile=args.profile)
+
+
+def _finish_telemetry(tel: Optional[Telemetry], args) -> None:
+    """Export / print whatever the run's telemetry scope gathered."""
+    if tel is None:
+        return
+    if args.telemetry_out is not None:
+        tel.export_jsonl(args.telemetry_out)
+        print(f"telemetry written to {args.telemetry_out}", file=sys.stderr)
+    if tel.profiler is not None:
+        print(tel.profiler.format_summary(), file=sys.stderr)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -45,7 +86,9 @@ def _config(args, scheme: Optional[str] = None) -> ExperimentConfig:
 
 def cmd_run(args) -> int:
     """Handle ``repro run``: one experiment point, print its summary."""
-    result = run_experiment(_config(args))
+    tel = _make_telemetry(args)
+    result = run_experiment(_config(args), telemetry=tel)
+    _finish_telemetry(tel, args)
     summary = result.collector.summary()
     if summary is None:
         print("no jobs completed", file=sys.stderr)
@@ -72,9 +115,11 @@ def cmd_sweep(args) -> int:
             return 2
     loads = [float(x) for x in args.loads.split(",")]
     base = _config(args, scheme=schemes[0])
+    tel = _make_telemetry(args)
     series = sweep_loads(base, schemes, loads, seeds=tuple(
         args.seed + i for i in range(args.n_seeds)
-    ))
+    ), telemetry=tel)
+    _finish_telemetry(tel, args)
     print(render_table(series))
     return 0
 
@@ -117,13 +162,16 @@ def cmd_incast(args) -> int:
     """Handle ``repro incast``: the Figure 7 fan-in experiment."""
     from repro.harness.incast import run_incast
 
+    tel = _make_telemetry(args)
     results = {}
     for fanout in (int(x) for x in args.fanouts.split(",")):
         goodput = run_incast(
             scheme=args.scheme, fanout=fanout, seed=args.seed,
             n_requests=args.requests, total_bytes=args.bytes,
+            telemetry=tel,
         )
         results[f"fanout {fanout}"] = goodput / 1e9
+    _finish_telemetry(tel, args)
     print(render_bar_chart(results, unit=" Gbps"))
     return 0
 
@@ -132,6 +180,17 @@ def cmd_schemes(_args) -> int:
     """Handle ``repro schemes``: list available scheme names."""
     for scheme in SCHEMES:
         print(scheme)
+    return 0
+
+
+def cmd_telemetry(args) -> int:
+    """Handle ``repro telemetry``: render a JSONL telemetry artifact."""
+    try:
+        dump = load_jsonl(args.file)
+    except (OSError, ValueError) as exc:  # ValueError covers malformed JSON
+        print(f"cannot read {args.file!r}: {exc}", file=sys.stderr)
+        return 1
+    print(render_dump(dump, top=args.top, sample=args.sample))
     return 0
 
 
@@ -146,6 +205,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one experiment point")
     p_run.add_argument("scheme", choices=SCHEMES)
     _add_common(p_run)
+    _add_telemetry_opts(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="scheme x load sweep")
@@ -153,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--loads", default="0.3,0.5,0.7")
     p_sweep.add_argument("--n-seeds", type=int, default=1)
     _add_common(p_sweep)
+    _add_telemetry_opts(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep, scheme="ecmp")
 
     p_fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -168,10 +229,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_incast.add_argument("--requests", type=int, default=8)
     p_incast.add_argument("--bytes", type=int, default=2_000_000)
     p_incast.add_argument("--seed", type=int, default=1)
+    _add_telemetry_opts(p_incast)
     p_incast.set_defaults(fn=cmd_incast)
 
     p_schemes = sub.add_parser("schemes", help="list available schemes")
     p_schemes.set_defaults(fn=cmd_schemes)
+
+    p_tel = sub.add_parser("telemetry", help="inspect a telemetry artifact")
+    p_tel.add_argument("file", help="JSONL file written by --telemetry-out")
+    p_tel.add_argument("--top", type=int, default=40,
+                       help="max counters/gauges to list per section")
+    p_tel.add_argument("--sample", type=int, default=8,
+                       help="sample events to print per section")
+    p_tel.set_defaults(fn=cmd_telemetry)
     return parser
 
 

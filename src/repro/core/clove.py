@@ -66,6 +66,13 @@ class _FlowletPolicyBase(LoadBalancer):
     def needs_discovery(self) -> bool:
         return True
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind flowlet events here and weight-update events to the table."""
+        super().attach_telemetry(telemetry)
+        weights = getattr(self, "weights", None)
+        if weights is not None:
+            weights.attach_telemetry(telemetry)
+
 
 class EdgeFlowletPolicy(_FlowletPolicyBase):
     """Edge-Flowlet: a new random source port per flowlet (Section 3.2).
@@ -106,6 +113,7 @@ class EdgeFlowletPolicy(_FlowletPolicyBase):
         else:
             choice = self.rng.randrange(_PORT_LO, _PORT_LO + _PORT_SPAN)
         self.flowlets.assign(inner, choice, now)
+        self._emit_flowlet(inner, choice, now)
         return choice
 
 
@@ -163,6 +171,7 @@ class CloveEcnPolicy(_FlowletPolicyBase):
         else:
             choice = self.weights.next_port(inner.dst_ip)
         self.flowlets.assign(inner, choice, now)
+        self._emit_flowlet(inner, choice, now)
         return choice
 
     def _adapted_gap(self, dst_ip: int) -> float:
@@ -240,6 +249,7 @@ class CloveIntPolicy(_FlowletPolicyBase):
                     inner.dst_ip, choice, current + self.local_bump, now
                 )
         self.flowlets.assign(inner, choice, now)
+        self._emit_flowlet(inner, choice, now)
         return choice
 
     def on_path_feedback(self, feedback: PathFeedback, now: float) -> None:

@@ -70,6 +70,13 @@ class WeightedPathTable:
         # Counters.
         self.weight_reductions = 0
 
+    #: telemetry hook; instances overwrite via :meth:`attach_telemetry`
+    _tel_events = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind weight-update event emission to a telemetry scope."""
+        self._tel_events = telemetry.events
+
     # ------------------------------------------------------------------
     # Discovery interface
     # ------------------------------------------------------------------
@@ -213,6 +220,12 @@ class WeightedPathTable:
             target.weight += removed  # single-path destination: no-op
         self._normalize(states)
         self.weight_reductions += 1
+        if self._tel_events is not None:
+            self._tel_events.emit(
+                "clove.weight_update", now,
+                dst=dst_ip, port=port,
+                weights={str(s.port): round(s.weight, 6) for s in states},
+            )
 
     def util_of(self, dst_ip: int, port: int) -> float:
         """Latest recorded utilization for one path (0.0 when unknown)."""

@@ -21,7 +21,8 @@ Supported schemes (the exact comparison sets of Sections 5 and 6):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import time
+from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.conga import CongaLeafSwitch, CongaSpineSwitch, configure_conga
@@ -36,6 +37,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.net.packet import MTU, ACK_BYTES, ENCAP_BYTES
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.topology.leafspine import LeafSpineConfig, build_leaf_spine
 from repro.topology.network import Network
 from repro.transport.mptcp import open_mptcp_connection
@@ -145,6 +147,10 @@ class ExperimentResult:
     sim_duration: float
     wall_events: int
     hosts: Dict[str, Host] = field(default_factory=dict)
+    #: telemetry scope the run reported through (None when uninstrumented)
+    telemetry: Optional[Telemetry] = None
+    #: this run's manifest inside the telemetry scope (None when disabled)
+    manifest: Optional[Dict[str, object]] = None
 
     @property
     def avg_fct(self) -> float:
@@ -228,15 +234,23 @@ def _make_policy(
 def run_experiment(
     config: ExperimentConfig,
     on_ready: Optional[Callable[[Simulator, Network, Dict[str, Host]], None]] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ExperimentResult:
     """Build and run one experiment point to completion.
 
     ``on_ready(sim, net, hosts)`` is invoked after everything is assembled
     but before traffic starts — the hook instrumentation (e.g. the
     stability sampler) attaches through.
+
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry` scope) instruments
+    every layer of the run: the result carries the scope plus a run manifest
+    (config, seed, git rev, wall time), and the scope's registry/event log
+    hold fabric counters and structured decision events.  Pass the same
+    scope to several runs (a sweep) to accumulate one artifact.
     """
     if config.scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {config.scheme!r}")
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     sim = Simulator()
     rng = RngRegistry(config.seed)
 
@@ -368,9 +382,25 @@ def run_experiment(
         if server.prober is not None:
             server.prober.notice_destination(client.ip)
 
+    manifest: Optional[Dict[str, object]] = None
+    if tel.enabled:
+        tel.instrument(sim=sim, net=net, hosts=hosts)
+        manifest = tel.manifest(
+            run="experiment",
+            scheme=config.scheme,
+            load=config.load,
+            seed=config.seed,
+            config=asdict(config),
+        )
+        tel.events.emit(
+            "run.start", sim.now,
+            scheme=config.scheme, load=config.load, seed=config.seed,
+        )
+
     if on_ready is not None:
         on_ready(sim, net, hosts)
 
+    wall_start = time.perf_counter()
     workload.start()
 
     # ------------------------------------------------------------------
@@ -388,6 +418,15 @@ def run_experiment(
         if sim.events_processed > event_budget:
             break
 
+    if tel.enabled:
+        tel.observe_network(net)
+        tel.observe_hosts(hosts)
+        tel.observe_collector(collector)
+        if manifest is not None:
+            manifest["wall_s"] = time.perf_counter() - wall_start
+            manifest["sim_duration"] = sim.now
+            manifest["sim_events"] = sim.events_processed
+
     return ExperimentResult(
         config=config,
         collector=collector,
@@ -395,4 +434,6 @@ def run_experiment(
         sim_duration=sim.now,
         wall_events=sim.events_processed,
         hosts=hosts,
+        telemetry=tel if tel.enabled else None,
+        manifest=manifest,
     )

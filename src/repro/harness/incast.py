@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict
+import time
+from typing import Dict, Optional
 
 from repro.core.clove import CloveParams
 from repro.core.discovery import DiscoveryConfig, PathDiscovery
@@ -15,6 +16,7 @@ from repro.harness.experiment import (
 from repro.hypervisor.host import Host
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.topology.leafspine import build_leaf_spine
 from repro.transport.mptcp import open_mptcp_connection
 from repro.transport.tcp import open_connection
@@ -29,14 +31,17 @@ def run_incast(
     total_bytes: int = 1_000_000,
     mptcp_subflows: int = 4,
     min_rto: float = 5e-3,
+    telemetry: Optional[Telemetry] = None,
 ) -> float:
     """Run the partition-aggregate workload; returns client goodput (bps).
 
     One client on leaf 1 requests ``total_bytes`` split over ``fanout``
     servers on leaf 2, repeatedly; all servers respond simultaneously,
     stressing the client's access link exactly as in the paper's incast
-    experiment.
+    experiment.  A ``telemetry`` scope, when given, instruments the run the
+    same way :func:`~repro.harness.experiment.run_experiment` does.
     """
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     sim = Simulator()
     rng = RngRegistry(seed)
     topo = default_topology()
@@ -91,6 +96,16 @@ def run_incast(
         if client.prober is not None:
             client.prober.notice_destination(server.ip)
 
+    manifest = None
+    if tel.enabled:
+        tel.instrument(sim=sim, net=net, hosts=hosts)
+        manifest = tel.manifest(
+            run="incast", scheme=scheme, seed=seed, fanout=fanout,
+            n_requests=n_requests, total_bytes=total_bytes,
+        )
+        tel.events.emit("run.start", sim.now, scheme=scheme, fanout=fanout,
+                        seed=seed)
+
     workload = IncastWorkload(
         sim, rng, client, servers,
         IncastConfig(
@@ -102,10 +117,20 @@ def run_incast(
         factory,
     )
     finished = []
+    wall_start = time.perf_counter()
     workload.start(lambda: finished.append(sim.now))
     # Run until all requests complete (bounded safety horizon).
     while not finished and sim.now < 120.0:
         sim.run(until=sim.now + 0.1)
         if sim.peek_time() is None:
             break
-    return workload.goodput_bps()
+    goodput = workload.goodput_bps()
+    if tel.enabled:
+        tel.observe_network(net)
+        tel.observe_hosts(hosts)
+        if manifest is not None:
+            manifest["wall_s"] = time.perf_counter() - wall_start
+            manifest["sim_duration"] = sim.now
+            manifest["sim_events"] = sim.events_processed
+            manifest["goodput_bps"] = goodput
+    return goodput

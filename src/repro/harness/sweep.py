@@ -7,9 +7,10 @@ The paper runs each point with three random seeds and reports the average;
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.telemetry import Telemetry
 
 #: metric extractor: result -> float
 Metric = Callable[[ExperimentResult], float]
@@ -29,13 +30,18 @@ def average_over_seeds(
     base: ExperimentConfig,
     seeds: Sequence[int],
     metric: Metric = avg_fct,
+    telemetry: Optional[Telemetry] = None,
 ) -> float:
-    """Run ``base`` once per seed and average the metric (paper protocol)."""
+    """Run ``base`` once per seed and average the metric (paper protocol).
+
+    When a ``telemetry`` scope is given, every run reports into it (one
+    manifest per run, shared counters/events).
+    """
     if not seeds:
         raise ValueError("need at least one seed")
     values = []
     for seed in seeds:
-        result = run_experiment(replace(base, seed=seed))
+        result = run_experiment(replace(base, seed=seed), telemetry=telemetry)
         values.append(metric(result))
     return sum(values) / len(values)
 
@@ -46,6 +52,7 @@ def sweep_loads(
     loads: Sequence[float],
     seeds: Sequence[int] = (1,),
     metric: Metric = avg_fct,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """Produce {scheme: [(load, metric), ...]} — one figure's line series."""
     series: Dict[str, List[Tuple[float, float]]] = {}
@@ -53,7 +60,8 @@ def sweep_loads(
         points: List[Tuple[float, float]] = []
         for load in loads:
             value = average_over_seeds(
-                replace(base, scheme=scheme, load=load), seeds, metric
+                replace(base, scheme=scheme, load=load), seeds, metric,
+                telemetry=telemetry,
             )
             points.append((load, value))
         series[scheme] = points

@@ -46,7 +46,15 @@ class Host:
         self._endpoints: Dict[FlowKey, object] = {}
         self.prober: Optional["PathDiscovery"] = None
         self.rx_packets = 0
+        #: telemetry scope shared with this host's transports (see
+        #: :meth:`attach_telemetry`; None = uninstrumented)
+        self.telemetry = None
         net.register_host_receiver(name, self.receive)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind this host (vswitch, policy, guest transports) to a scope."""
+        self.telemetry = telemetry
+        self.vswitch.attach_telemetry(telemetry)
 
     # ------------------------------------------------------------------
     # Guest-side API

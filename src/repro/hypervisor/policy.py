@@ -50,10 +50,35 @@ class LoadBalancer:
     wants_latency: bool = False
     #: whether the receive side must run Presto-style flowcell reassembly
     needs_reassembly: bool = False
+    #: bound event log of the attached telemetry scope (None = uninstrumented)
+    _tel_events = None
 
     def select_source_port(self, inner: FlowKey, packet: Packet, now: float) -> int:
         """Return the outer source port for this packet (the path choice)."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind this policy's decision events to a telemetry scope.
+
+        Subclasses that keep auxiliary state (e.g. a
+        :class:`~repro.core.weights.WeightedPathTable`) extend this to
+        propagate the scope into it.
+        """
+        self._tel_events = telemetry.events
+
+    def _emit_flowlet(self, inner: FlowKey, port: int, now: float) -> None:
+        """Record a path decision for a newly created flowlet (no-op when no
+        telemetry scope is attached; called per flowlet, not per packet)."""
+        events = self._tel_events
+        if events is not None:
+            events.emit(
+                "flowlet.new", now,
+                src=inner.src_ip, dst=inner.dst_ip,
+                sport=inner.src_port, port=port,
+            )
 
     # ------------------------------------------------------------------
     # Path discovery plumbing

@@ -95,6 +95,15 @@ class VSwitch:
         self.echoes_received = 0
         self.guest_ecn_injected = 0
 
+    #: telemetry hook; instances overwrite via :meth:`attach_telemetry`
+    _tel_events = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind echo/rewrite event emission here and propagate to the policy."""
+        self._tel_events = telemetry.events
+        if self.policy is not None:
+            self.policy.attach_telemetry(telemetry)
+
     # ------------------------------------------------------------------
     # Transmit path
     # ------------------------------------------------------------------
@@ -129,6 +138,12 @@ class VSwitch:
         """
         inner = packet.inner
         sport = self.policy.select_source_port(inner, packet, self.sim.now)
+        if self._tel_events is not None and sport != inner.src_port:
+            self._tel_events.emit(
+                "vswitch.rewrite", self.sim.now,
+                host=self.host.name, dst=inner.dst_ip,
+                orig_sport=inner.src_port, sport=sport,
+            )
         packet.meta["clove_orig_sport"] = inner.src_port
         packet.inner = FlowKey(
             inner.src_ip, inner.dst_ip, sport, inner.dst_port, inner.proto
@@ -214,6 +229,13 @@ class VSwitch:
         # (2) consume any echo the remote attached about our forward paths.
         if self.policy is not None and packet.stt_echo_port is not None:
             self.echoes_received += 1
+            if self._tel_events is not None:
+                self._tel_events.emit(
+                    "clove.ecn_echo" if packet.stt_echo_ecn else "clove.int_echo",
+                    self.sim.now,
+                    host=self.host.name, remote=remote,
+                    port=packet.stt_echo_port, util=packet.stt_echo_util,
+                )
             self.policy.on_path_feedback(
                 PathFeedback(
                     dst_ip=remote,

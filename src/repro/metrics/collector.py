@@ -132,7 +132,7 @@ class MetricsCollector:
         n = len(values)
         step = max(1, n // points)
         out = [(values[i], (i + 1) / n) for i in range(0, n, step)]
-        if out[-1][0] != values[-1]:
+        if out[-1][1] != 1.0:
             out.append((values[-1], 1.0))
         return out
 

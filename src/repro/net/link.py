@@ -54,6 +54,18 @@ class Link:
         self.tx_packets = 0
         self.tx_bytes = 0
 
+    #: telemetry hooks; instances overwrite these via :meth:`attach_telemetry`
+    #: (class attributes keep the uninstrumented path to one ``is None`` test)
+    _tel_events = None
+    _tel_drops = None
+    _tel_marks = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind this link's hot-path drop/mark hooks to a telemetry scope."""
+        self._tel_events = telemetry.events
+        self._tel_drops = telemetry.registry.counter("switch.drop", link=self.name)
+        self._tel_marks = telemetry.registry.counter("switch.ecn_mark", link=self.name)
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
@@ -70,10 +82,27 @@ class Link:
         Returns ``False`` when the packet was dropped (queue full or link
         down).  A down link silently discards traffic, matching a dead cable.
         """
+        events = self._tel_events
         if not self.up:
             self.queue.stats.dropped += 1
+            if events is not None:
+                self._tel_drops.inc()
+                events.emit("switch.drop", self.sim.now,
+                            link=self.name, reason="link_down")
             return False
-        if not self.queue.enqueue(packet, self.sim.now):
+        if events is not None:
+            ce_before = packet.ce
+            if not self.queue.enqueue(packet, self.sim.now):
+                self._tel_drops.inc()
+                events.emit("switch.drop", self.sim.now,
+                            link=self.name, reason="queue_full",
+                            depth=len(self.queue))
+                return False
+            if packet.ce and not ce_before:
+                self._tel_marks.inc()
+                events.emit("switch.ecn_mark", self.sim.now,
+                            link=self.name, depth=len(self.queue))
+        elif not self.queue.enqueue(packet, self.sim.now):
             return False
         if not self._busy:
             self._start_transmission()

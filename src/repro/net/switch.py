@@ -55,6 +55,13 @@ class Switch:
         self.rx_packets = 0
         self.blackholed = 0
 
+    #: telemetry hook; instances overwrite via :meth:`attach_telemetry`
+    _tel_events = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Bind blackhole/TTL event emission to a telemetry scope."""
+        self._tel_events = telemetry.events
+
     # ------------------------------------------------------------------
     # Control plane
     # ------------------------------------------------------------------
@@ -78,6 +85,10 @@ class Switch:
             self.on_trace(packet, link_in)
         packet.ttl -= 1
         if packet.ttl <= 0:
+            if self._tel_events is not None:
+                self._tel_events.emit("switch.ttl_expired", self.sim.now,
+                                      switch=self.name,
+                                      dst=packet.route_key.dst_ip)
             self._send_time_exceeded(packet, link_in)
             return
         self.forward(packet, link_in)
@@ -88,10 +99,18 @@ class Switch:
         group = self.routes.get(key.dst_ip)
         if not group:
             self.blackholed += 1
+            if self._tel_events is not None:
+                self._tel_events.emit("switch.drop", self.sim.now,
+                                      switch=self.name, reason="no_route",
+                                      dst=key.dst_ip)
             return
         live = [link for link in group if link.up]
         if not live:
             self.blackholed += 1
+            if self._tel_events is not None:
+                self._tel_events.emit("switch.drop", self.sim.now,
+                                      switch=self.name, reason="all_links_down",
+                                      dst=key.dst_ip)
             return
         link_out = self.select_port(packet, key, live, link_in)
         if self.int_capable and packet.int_enabled:

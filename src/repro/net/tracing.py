@@ -79,3 +79,30 @@ class PathTracer:
             hops = " -> ".join(tag.split("<")[0] for tag in path)
             lines.append(f"  {count:>6} ({count/total:5.1%})  {hops}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Telemetry bridge
+    # ------------------------------------------------------------------
+    def to_events(self, telemetry) -> int:
+        """Emit every traced packet's path as a ``path.trace`` event.
+
+        ``telemetry`` may be a :class:`~repro.telemetry.Telemetry` scope or
+        a bare :class:`~repro.telemetry.EventLog`; returns how many events
+        were emitted.  Each event carries the packet's 5-tuple endpoints,
+        its send time (``created_at``) and the switch-hop path it took, so
+        per-packet routing decisions land in the same JSONL artifact as the
+        rest of a run's telemetry.
+        """
+        events = telemetry if hasattr(telemetry, "emit") else telemetry.events
+        emitted = 0
+        for packet in self.traced:
+            if not packet.trace:
+                continue
+            key = packet.route_key
+            events.emit(
+                "path.trace", packet.created_at,
+                src=key.src_ip, dst=key.dst_ip, sport=key.src_port,
+                path=[tag.split("<")[0] for tag in packet.trace],
+            )
+            emitted += 1
+        return emitted

@@ -22,7 +22,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+import time as _time
+from typing import Any, Callable, List, Optional, TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.profiler import SimProfiler
 
 
 class Event:
@@ -69,6 +73,10 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._events_processed = 0
+        #: when set (see :class:`repro.telemetry.SimProfiler`), ``run`` takes
+        #: an instrumented loop that times every callback; None keeps the
+        #: original unmeasured fast path.
+        self.profiler: Optional["SimProfiler"] = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -98,30 +106,80 @@ class Simulator:
         """Run until the event queue drains, ``until`` is reached, or
         ``max_events`` events have been processed.
 
-        When ``until`` is given, ``now`` is advanced to exactly ``until`` on
-        return (even if the queue drained earlier), mirroring NS2 semantics.
+        When ``until`` is given and the loop ran to its horizon (queue
+        drained or only future-of-``until`` events remain), ``now`` is
+        advanced to exactly ``until`` on return, mirroring NS2 semantics.
+        When the loop was cut short instead — by ``max_events`` or
+        :meth:`stop` — ``now`` stays at the last processed event, so events
+        still queued at or after ``now`` remain valid for a later ``run()``.
         """
         self._running = True
         processed = 0
         queue = self._queue
+        interrupted = False
+        try:
+            if self.profiler is not None:
+                processed, interrupted = self._run_profiled(until, max_events)
+            else:
+                while queue and self._running:
+                    time, _seq, event = queue[0]
+                    if until is not None and time > until:
+                        break
+                    heapq.heappop(queue)
+                    if event.cancelled:
+                        continue
+                    self.now = time
+                    event.fn(*event.args)
+                    processed += 1
+                    self._events_processed += 1
+                    if max_events is not None and processed >= max_events:
+                        interrupted = True
+                        break
+                interrupted = interrupted or not self._running
+        finally:
+            self._running = False
+        if not interrupted and until is not None and self.now < until:
+            self.now = until
+
+    def _run_profiled(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> Tuple[int, bool]:
+        """The :meth:`run` loop with per-callback wall-clock accounting.
+
+        Kept separate so unprofiled runs (the normal case) pay nothing for
+        the timing calls.  Returns ``(processed, interrupted)``.
+        """
+        from repro.telemetry.profiler import callback_name
+
+        profiler = self.profiler
+        queue = self._queue
+        perf = _time.perf_counter
+        processed = 0
+        interrupted = False
+        run_start = perf()
         try:
             while queue and self._running:
                 time, _seq, event = queue[0]
                 if until is not None and time > until:
                     break
+                if len(queue) > profiler.heap_high_water:
+                    profiler.heap_high_water = len(queue)
                 heapq.heappop(queue)
                 if event.cancelled:
                     continue
                 self.now = time
+                started = perf()
                 event.fn(*event.args)
+                profiler.record_callback(callback_name(event.fn), perf() - started)
                 processed += 1
                 self._events_processed += 1
                 if max_events is not None and processed >= max_events:
+                    interrupted = True
                     break
+            interrupted = interrupted or not self._running
         finally:
-            self._running = False
-        if until is not None and self.now < until:
-            self.now = until
+            profiler.record_run(processed, perf() - run_start)
+        return processed, interrupted
 
     def step(self) -> bool:
         """Process a single event.  Returns ``False`` when the queue is empty."""

@@ -1,0 +1,49 @@
+"""Unified telemetry: metrics registry, structured events, sim profiling.
+
+Public surface::
+
+    from repro.telemetry import Telemetry, NULL_TELEMETRY
+
+    telemetry = Telemetry(profile=True)
+    result = run_experiment(config, telemetry=telemetry)
+    telemetry.export_jsonl("run.jsonl")
+
+See :mod:`repro.telemetry.core` for the facade, :mod:`~.registry` /
+:mod:`~.events` / :mod:`~.profiler` for the building blocks, and
+:mod:`~.render` for the ``repro telemetry`` text views.
+"""
+
+from repro.telemetry.core import (
+    NULL_TELEMETRY,
+    Telemetry,
+    git_revision,
+    load_jsonl,
+)
+from repro.telemetry.events import EventLog, TelemetryEvent, read_jsonl
+from repro.telemetry.profiler import SimProfiler, callback_name
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    format_key,
+)
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "git_revision",
+    "load_jsonl",
+    "EventLog",
+    "TelemetryEvent",
+    "read_jsonl",
+    "SimProfiler",
+    "callback_name",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_INSTRUMENT",
+    "format_key",
+]

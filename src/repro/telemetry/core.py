@@ -1,0 +1,245 @@
+"""The :class:`Telemetry` facade: one scope = one registry + event log +
+optional engine profiler + run manifests.
+
+Experiments create one ``Telemetry`` per run (or share one across a sweep),
+``instrument()`` it into the assembled fabric, and ``export_jsonl()`` the
+whole scope into a single artifact::
+
+    telemetry = Telemetry(profile=True)
+    result = run_experiment(config, telemetry=telemetry)
+    telemetry.export_jsonl("run.jsonl")
+
+The default scope for instrumented code is :data:`NULL_TELEMETRY` — disabled,
+shared, and allocation-free — so uninstrumented runs pay only a handful of
+``is not None`` checks on the datapath.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.telemetry.events import EventLog, read_jsonl
+from repro.telemetry.profiler import SimProfiler
+from repro.telemetry.registry import MetricsRegistry
+
+_git_rev_cache: Optional[str] = None
+_git_rev_known = False
+
+
+def git_revision() -> Optional[str]:
+    """The repository's HEAD commit, or None outside a git checkout."""
+    global _git_rev_cache, _git_rev_known
+    if not _git_rev_known:
+        _git_rev_known = True
+        try:
+            _git_rev_cache = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True, text=True, timeout=5.0, check=True,
+            ).stdout.strip() or None
+        except Exception:
+            _git_rev_cache = None
+    return _git_rev_cache
+
+
+class Telemetry:
+    """One observability scope: metrics + events + profile + manifests."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        event_capacity: int = 65536,
+        profile: bool = False,
+    ) -> None:
+        self.enabled = enabled
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.events = EventLog(capacity=event_capacity, enabled=enabled)
+        self.profiler: Optional[SimProfiler] = (
+            SimProfiler() if (enabled and profile) else None
+        )
+        #: one manifest dict per run recorded in this scope
+        self.manifests: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Run manifests
+    # ------------------------------------------------------------------
+    def manifest(self, **fields: Any) -> Dict[str, Any]:
+        """Record (and return) a run manifest: config, seed, git rev, etc.
+
+        The returned dict is live — callers typically stamp wall time and
+        event totals into it when the run finishes.
+        """
+        entry: Dict[str, Any] = {
+            "kind": "manifest",
+            "git_rev": git_revision(),
+            "recorded_unix": time.time(),
+        }
+        entry.update(fields)
+        if self.enabled:
+            self.manifests.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Wiring into an assembled experiment
+    # ------------------------------------------------------------------
+    def instrument(self, sim=None, net=None, hosts=None) -> None:
+        """Attach this scope to an assembled fabric (no-op when disabled).
+
+        ``sim`` gains the profiler (when profiling was requested); every
+        link, switch and host (vswitch + policy + weight table) gains bound
+        event/counter hooks on its hot paths.
+        """
+        if not self.enabled:
+            return
+        if sim is not None and self.profiler is not None:
+            sim.profiler = self.profiler
+        if net is not None:
+            for switch in net.switches.values():
+                switch.attach_telemetry(self)
+            for link in net.all_links():
+                link.attach_telemetry(self)
+        if hosts is not None:
+            for host in _values(hosts):
+                host.attach_telemetry(self)
+
+    # ------------------------------------------------------------------
+    # Scrape-style collection (fold component counters into the registry)
+    # ------------------------------------------------------------------
+    def observe_network(self, net) -> None:
+        """Fold switch/link/queue state into the registry (idempotent)."""
+        if not self.enabled:
+            return
+        reg = self.registry
+        for name, switch in net.switches.items():
+            reg.counter("switch.rx_packets", switch=name).set_total(switch.rx_packets)
+            reg.counter("switch.blackholed", switch=name).set_total(switch.blackholed)
+        for link in net.all_links():
+            stats = link.queue.stats
+            labels = {"link": link.name}
+            reg.counter("link.tx_packets", **labels).set_total(link.tx_packets)
+            reg.counter("link.tx_bytes", **labels).set_total(link.tx_bytes)
+            reg.counter("queue.dropped", **labels).set_total(stats.dropped)
+            reg.counter("queue.ecn_marked", **labels).set_total(stats.ecn_marked)
+            reg.gauge("queue.peak_packets", **labels).set(stats.peak_packets)
+            reg.gauge("queue.depth_packets", **labels).set(len(link.queue))
+            reg.gauge("link.utilization", **labels).set(link.utilization())
+
+    def observe_hosts(self, hosts) -> None:
+        """Fold hypervisor and guest-TCP counters into the registry."""
+        if not self.enabled:
+            return
+        reg = self.registry
+        totals = {
+            "tcp.fast_retransmits": 0, "tcp.timeouts": 0, "tcp.ecn_reductions": 0,
+            "tcp.tlp_probes": 0, "tcp.packets_sent": 0, "tcp.ooo_packets": 0,
+        }
+        for host in _values(hosts):
+            vswitch = host.vswitch
+            labels = {"host": host.name}
+            reg.counter("vswitch.tx_encapsulated", **labels).set_total(vswitch.tx_encapsulated)
+            reg.counter("vswitch.rx_encapsulated", **labels).set_total(vswitch.rx_encapsulated)
+            reg.counter("vswitch.echoes_sent", **labels).set_total(vswitch.echoes_sent)
+            reg.counter("vswitch.echoes_received", **labels).set_total(vswitch.echoes_received)
+            reg.counter("vswitch.guest_ecn_injected", **labels).set_total(vswitch.guest_ecn_injected)
+            policy = vswitch.policy
+            weights = getattr(policy, "weights", None)
+            if weights is not None:
+                reg.counter("clove.weight_reductions", **labels).set_total(
+                    weights.weight_reductions
+                )
+            for endpoint in getattr(host, "_endpoints", {}).values():
+                if hasattr(endpoint, "fast_retransmits"):  # a TCP sender
+                    totals["tcp.fast_retransmits"] += endpoint.fast_retransmits
+                    totals["tcp.timeouts"] += endpoint.timeouts
+                    totals["tcp.ecn_reductions"] += endpoint.ecn_reductions
+                    totals["tcp.tlp_probes"] += getattr(endpoint, "tlp_probes", 0)
+                    totals["tcp.packets_sent"] += endpoint.packets_sent
+                elif hasattr(endpoint, "ooo_packets"):     # a TCP receiver
+                    totals["tcp.ooo_packets"] += endpoint.ooo_packets
+        for name, value in totals.items():
+            reg.counter(name).set_total(value)
+
+    def observe_collector(self, collector) -> None:
+        """Fold flow-completion times into an ``fct_seconds`` histogram."""
+        if not self.enabled:
+            return
+        histogram = self.registry.histogram("fct_seconds")
+        for fct in collector.fcts():
+            histogram.observe(fct)
+        self.registry.counter("jobs.submitted").set_total(len(collector.jobs))
+        self.registry.counter("jobs.completed").set_total(
+            len(collector.completed())
+        )
+
+    # ------------------------------------------------------------------
+    # Export / snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The whole scope as one JSON-serializable dict."""
+        out: Dict[str, Any] = {"manifests": list(self.manifests)}
+        out.update(self.registry.snapshot())
+        out["events_by_type"] = dict(self.events.counts_by_type())
+        out["events_dropped"] = self.events.dropped
+        if self.profiler is not None:
+            out["profile"] = self.profiler.summary()
+        return out
+
+    def export_jsonl(self, path: str) -> int:
+        """Write the scope as a JSONL artifact; returns the line count.
+
+        Line kinds: ``manifest`` (one per recorded run), ``counters`` /
+        ``gauges`` / ``histograms`` (one snapshot line each), ``profile``
+        (when profiling ran), then one ``event`` line per buffered event.
+        """
+        lines = 0
+        with open(path, "w", encoding="utf-8") as fp:
+            def _write(record: Dict[str, Any]) -> None:
+                nonlocal lines
+                fp.write(json.dumps(record, default=str))
+                fp.write("\n")
+                lines += 1
+
+            for manifest in self.manifests:
+                _write(manifest)
+            metrics = self.registry.snapshot()
+            _write({"kind": "counters", "values": metrics["counters"]})
+            _write({"kind": "gauges", "values": metrics["gauges"]})
+            _write({"kind": "histograms", "values": metrics["histograms"]})
+            if self.profiler is not None:
+                _write({"kind": "profile", **self.profiler.summary()})
+            if self.events.dropped:
+                _write({"kind": "events_dropped", "count": self.events.dropped})
+            lines += self.events.write_jsonl(fp)
+        return lines
+
+
+def _values(hosts) -> Iterable:
+    """Accept both ``{name: host}`` mappings and plain host iterables."""
+    return hosts.values() if hasattr(hosts, "values") else hosts
+
+
+#: shared disabled scope — the default for every instrumented component
+NULL_TELEMETRY = Telemetry(enabled=False)
+
+
+def load_jsonl(path: str) -> Dict[str, Any]:
+    """Parse a telemetry JSONL artifact back into one structured dict."""
+    dump: Dict[str, Any] = {
+        "manifests": [], "counters": {}, "gauges": {}, "histograms": {},
+        "profile": None, "events": [], "events_dropped": 0,
+    }
+    for record in read_jsonl(path):
+        kind = record.get("kind")
+        if kind == "manifest":
+            dump["manifests"].append(record)
+        elif kind in ("counters", "gauges", "histograms"):
+            dump[kind].update(record.get("values", {}))
+        elif kind == "profile":
+            dump["profile"] = record
+        elif kind == "events_dropped":
+            dump["events_dropped"] = record.get("count", 0)
+        elif kind == "event":
+            dump["events"].append(record)
+    return dump

@@ -1,0 +1,111 @@
+"""Structured event log: a bounded ring buffer of typed, timestamped events.
+
+Counters say *how much*; the event log says *what happened, when* — which
+flowlet went where, which path's weight was cut, which queue marked CE.  The
+log is a ``deque(maxlen=capacity)`` so a long run keeps the most recent
+window instead of growing without bound; ``emitted`` minus ``len`` tells you
+how many fell off the front.
+
+Events are plain data (time, type, field dict) so they serialize straight
+to JSONL (see :meth:`EventLog.write_jsonl`) and can be re-read for offline
+analysis with :func:`read_jsonl`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, NamedTuple, Optional, TextIO
+
+
+class TelemetryEvent(NamedTuple):
+    """One structured event."""
+
+    time: float
+    type: str
+    fields: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The event as one flat JSONL-ready record (``kind: event``)."""
+        return {"kind": "event", "time": self.time, "type": self.type, **self.fields}
+
+
+class EventLog:
+    """Ring-buffered event sink shared by every instrumented layer."""
+
+    def __init__(self, capacity: int = 65536, enabled: bool = True) -> None:
+        if capacity <= 0:
+            raise ValueError("event log capacity must be positive")
+        self.capacity = capacity
+        self.enabled = enabled
+        self._buffer: Deque[TelemetryEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def emit(self, etype: str, time: float, **fields: Any) -> None:
+        """Append one event (drops the oldest when the ring is full)."""
+        if not self.enabled:
+            return
+        self.emitted += 1
+        self._buffer.append(TelemetryEvent(time, etype, fields))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[TelemetryEvent]:
+        return iter(self._buffer)
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed off the front of the ring."""
+        return self.emitted - len(self._buffer)
+
+    def events(self, etype: Optional[str] = None) -> List[TelemetryEvent]:
+        """Buffered events, optionally filtered to one type."""
+        if etype is None:
+            return list(self._buffer)
+        return [event for event in self._buffer if event.type == etype]
+
+    def counts_by_type(self) -> TallyCounter:
+        """{event type: occurrences} over the buffered window."""
+        return TallyCounter(event.type for event in self._buffer)
+
+    def tail(self, n: int = 20) -> List[TelemetryEvent]:
+        """The most recent ``n`` events."""
+        if n <= 0:
+            return []
+        return list(self._buffer)[-n:]
+
+    def clear(self) -> None:
+        """Empty the buffer (the ``emitted`` total keeps counting)."""
+        self._buffer.clear()
+        self.emitted = len(self._buffer)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def write_jsonl(self, fp: TextIO) -> int:
+        """Write buffered events to ``fp`` as JSON lines; returns the count."""
+        n = 0
+        for event in self._buffer:
+            fp.write(json.dumps(event.to_dict(), default=str))
+            fp.write("\n")
+            n += 1
+        return n
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a telemetry JSONL file into raw record dicts (any ``kind``)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

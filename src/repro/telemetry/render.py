@@ -1,0 +1,117 @@
+"""Plain-text rendering of telemetry artifacts (the ``repro telemetry``
+subcommand's backend).
+
+Everything renders from the structured dict produced by
+:func:`repro.telemetry.load_jsonl` (or :meth:`Telemetry.snapshot`), so the
+same tables work on a live scope and on a re-read JSONL file.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from typing import Any, Dict, List
+
+
+def render_counters(values: Dict[str, float], title: str = "counters",
+                    top: int = 40) -> str:
+    """Largest-first table of counter/gauge values."""
+    if not values:
+        return f"({title}: none)"
+    ranked = sorted(values.items(), key=lambda item: (-abs(item[1]), item[0]))
+    lines = [f"{title} ({len(values)}):"]
+    for name, value in ranked[:top]:
+        rendered = f"{value:.6g}" if isinstance(value, float) else str(value)
+        lines.append(f"  {rendered:>14}  {name}")
+    if len(ranked) > top:
+        lines.append(f"  ... {len(ranked) - top} more")
+    return "\n".join(lines)
+
+
+def render_histograms(values: Dict[str, Dict[str, Any]]) -> str:
+    """One summary row per histogram (count/mean/p50/p99/max)."""
+    if not values:
+        return "(histograms: none)"
+    lines = [f"histograms ({len(values)}):"]
+    for name, h in sorted(values.items()):
+        lines.append(
+            f"  {name}: count={h.get('count', 0)} mean={h.get('mean', 0):.6g} "
+            f"p50={h.get('p50', 0):.6g} p99={h.get('p99', 0):.6g} "
+            f"max={h.get('max', 0):.6g}"
+        )
+    return "\n".join(lines)
+
+
+def render_events(events: List[Dict[str, Any]], top_types: int = 12,
+                  sample: int = 8, dropped: int = 0) -> str:
+    """Per-type tallies plus a tail sample of raw events."""
+    if not events:
+        return "(events: none)"
+    tally = TallyCounter(event.get("type", "?") for event in events)
+    lines = [f"events ({len(events)} buffered"
+             + (f", {dropped} dropped" if dropped else "") + "):"]
+    for etype, count in tally.most_common(top_types):
+        lines.append(f"  {count:>9}  {etype}")
+    if len(tally) > top_types:
+        lines.append(f"  ... {len(tally) - top_types} more types")
+    if sample > 0:
+        lines.append(f"last {min(sample, len(events))} events:")
+        for event in events[-sample:]:
+            fields = {
+                k: v for k, v in event.items() if k not in ("kind", "time", "type")
+            }
+            detail = " ".join(f"{k}={v}" for k, v in fields.items())
+            lines.append(f"  t={event.get('time', 0):.6f} {event.get('type')} {detail}")
+    return "\n".join(lines)
+
+
+def render_manifests(manifests: List[Dict[str, Any]]) -> str:
+    """One line per recorded run manifest."""
+    if not manifests:
+        return "(no manifests)"
+    lines = [f"runs ({len(manifests)}):"]
+    for m in manifests:
+        rev = m.get("git_rev")
+        rev_str = str(rev)[:10] if rev else "?"
+        lines.append(
+            f"  scheme={m.get('scheme', '?')} load={m.get('load', '?')} "
+            f"seed={m.get('seed', '?')} wall_s={m.get('wall_s', '?')} "
+            f"events={m.get('sim_events', '?')} git={rev_str}"
+        )
+    return "\n".join(lines)
+
+
+def render_profile(profile: Dict[str, Any], top: int = 10) -> str:
+    """The sim-engine profile as a text table."""
+    if not profile:
+        return "(no profile)"
+    lines = [
+        f"profile: {profile.get('events', 0)} events in "
+        f"{profile.get('wall_s', 0.0):.3f}s "
+        f"({profile.get('events_per_sec', 0.0):,.0f} events/s), "
+        f"heap high-water {profile.get('heap_high_water', 0)}"
+    ]
+    for row in profile.get("callbacks", [])[:top]:
+        lines.append(
+            f"  {row.get('count', 0):>9}  {row.get('total_s', 0.0):>8.3f}s  "
+            f"{row.get('mean_us', 0.0):>8.2f}us  {row.get('callback', '?')}"
+        )
+    return "\n".join(lines)
+
+
+def render_dump(dump: Dict[str, Any], top: int = 40, sample: int = 8) -> str:
+    """Full rendering of a loaded telemetry artifact."""
+    sections = [
+        render_manifests(dump.get("manifests", [])),
+        render_counters(dump.get("counters", {}), "counters", top=top),
+        render_counters(dump.get("gauges", {}), "gauges", top=top),
+        render_histograms(dump.get("histograms", {})),
+        render_events(
+            dump.get("events", []),
+            sample=sample,
+            dropped=dump.get("events_dropped", 0),
+        ),
+    ]
+    profile = dump.get("profile")
+    if profile:
+        sections.append(render_profile(profile))
+    return "\n\n".join(sections)

@@ -359,6 +359,13 @@ class TcpSender:
         self.ssthresh = max(self.flight_size / 2.0, 2.0 * self.mss)
         self.cwnd = self.ssthresh + 3 * self.mss
         self.fast_retransmits += 1
+        telemetry = getattr(self.host, "telemetry", None)
+        if telemetry is not None:
+            telemetry.events.emit(
+                "tcp.fast_retransmit", self.sim.now,
+                src=self.flow.src_ip, dst=self.flow.dst_ip,
+                sport=self.flow.src_port, una=self.snd_una,
+            )
         self._recovery_cursor = self.snd_una
         self._retransmit_hole()
         self._restart_rto()
@@ -401,6 +408,14 @@ class TcpSender:
         if self.flight_size <= 0:
             return
         self.timeouts += 1
+        telemetry = getattr(self.host, "telemetry", None)
+        if telemetry is not None:
+            telemetry.events.emit(
+                "tcp.timeout", self.sim.now,
+                src=self.flow.src_ip, dst=self.flow.dst_ip,
+                sport=self.flow.src_port,
+                rto=self.rto * self.backoff, una=self.snd_una,
+            )
         self.ssthresh = max(self.flight_size / 2.0, 2.0 * self.mss)
         self.cwnd = float(self.mss)
         self.in_recovery = False

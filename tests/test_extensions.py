@@ -133,6 +133,23 @@ class TestTimeseries:
         with pytest.raises(ValueError):
             summarize([])
 
+    def test_summarize_constant_series(self):
+        stats = summarize([0.4] * 10)
+        assert stats.mean == pytest.approx(0.4)
+        assert stats.std == pytest.approx(0.0, abs=1e-12)
+        assert stats.minimum == stats.maximum == 0.4
+        assert stats.oscillation == pytest.approx(0.0, abs=1e-12)
+
+    def test_summarize_all_zero_series_has_zero_oscillation(self):
+        stats = summarize([0.0, 0.0, 0.0])
+        assert stats.mean == 0.0
+        assert stats.oscillation == 0.0  # no division by a zero mean
+
+    def test_summarize_single_sample(self):
+        stats = summarize([2.5])
+        assert stats.mean == 2.5
+        assert stats.std == 0.0
+
     def test_imbalance_balanced(self):
         sim = Simulator()
         sampler = NetworkSampler(sim, interval=0.1)

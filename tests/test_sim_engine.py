@@ -141,6 +141,40 @@ class TestRunControl:
         sim.run()
         assert sim.events_processed == 7
 
+    def test_max_events_with_until_does_not_fast_forward(self):
+        # Regression: when the event cap interrupts the run early, `now`
+        # must stay at the last processed event, not jump to `until`.
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(0.1 * (i + 1), lambda: None)
+        sim.run(until=5.0, max_events=4)
+        assert sim.now == pytest.approx(0.4)
+        assert sim.pending == 6
+
+    def test_max_events_resume_processes_remaining_in_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(6):
+            sim.schedule(0.1 * (i + 1), fired.append, i)
+        sim.run(until=5.0, max_events=3)
+        sim.run(until=5.0)
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert sim.now == 5.0  # queue drained -> fast-forward applies
+
+    def test_until_fast_forward_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(0.5, lambda: None)
+        sim.run(until=2.0, max_events=100)
+        assert sim.now == 2.0
+
+    def test_stop_does_not_fast_forward_to_until(self):
+        sim = Simulator()
+        sim.schedule(0.1, sim.stop)
+        sim.schedule(1.5, lambda: None)
+        sim.run(until=2.0)
+        assert sim.now == pytest.approx(0.1)
+        assert sim.pending == 1
+
 
 class TestRngRegistry:
     def test_streams_are_deterministic(self):

@@ -68,11 +68,22 @@ class TestPercentile:
     def test_single_value(self):
         assert percentile([7.0], 99) == 7.0
 
+    def test_edge_ranks(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        # q=0 clamps to the first ranked value, never an out-of-range rank.
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        # Just above a rank boundary: ceil(25.01% of 4) = 2nd value.
+        assert percentile(values, 25) == 1.0
+        assert percentile(values, 25.01) == 2.0
+
     def test_invalid_inputs(self):
         with pytest.raises(ValueError):
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.5)
 
 
 class TestMetricsCollector:
@@ -139,3 +150,35 @@ class TestMetricsCollector:
     def test_empty_summary_is_none(self):
         assert MetricsCollector().summary() is None
         assert MetricsCollector().cdf() == []
+
+    def test_cdf_subsampling_stays_monotone_and_reaches_max(self):
+        collector = MetricsCollector()
+        for i in range(1000):
+            record = collector.job_started(1000, 0.0)
+            collector.job_finished(record, float(i + 1))
+        cdf = collector.cdf(points=32)
+        assert len(cdf) <= 34  # subsampled, not one point per job
+        xs = [x for x, _ in cdf]
+        ys = [y for _, y in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert cdf[-1] == (1000.0, 1.0)
+
+    def test_cdf_subsampled_duplicate_max_still_ends_at_one(self):
+        # Regression: with a repeated maximum, the old value-based check
+        # could leave the subsampled CDF ending below fraction 1.0.
+        collector = MetricsCollector()
+        for fct in [1.0, 2.0, 3.0, 3.0]:
+            record = collector.job_started(1000, 0.0)
+            collector.job_finished(record, fct)
+        cdf = collector.cdf(points=2)
+        assert cdf[-1] == (3.0, 1.0)
+        ys = [y for _, y in cdf]
+        assert ys == sorted(ys)
+
+    def test_cdf_fewer_values_than_points(self):
+        collector = MetricsCollector()
+        for fct in [1.0, 2.0]:
+            record = collector.job_started(1000, 0.0)
+            collector.job_finished(record, fct)
+        assert collector.cdf(points=100) == [(1.0, 0.5), (2.0, 1.0)]
