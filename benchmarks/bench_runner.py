@@ -1,0 +1,103 @@
+"""Serial-vs-parallel runner benchmark: records wall times to BENCH_runner.json.
+
+Runs one (scheme x load x seed) grid twice through :func:`repro.runner.run_jobs`
+— once with ``jobs=1`` and once with ``jobs=N`` — asserts the two produce
+bit-identical series, and appends a record to ``benchmarks/BENCH_runner.json``::
+
+    {"recorded_unix": ..., "git_rev": "...", "cpu_count": 4,
+     "grid": "2 schemes x 3 loads x 3 seeds", "n_points": 18,
+     "serial_s": 41.2, "parallel_s": 12.8, "speedup": 3.22,
+     "jobs": 4, "identical": true}
+
+Speedup tracks the machine: on a single-core container the parallel run is
+expected to be no faster (the record still documents determinism).  Not a
+pytest benchmark — invoke directly::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py [--jobs 4] [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.sweep import series_equal, sweep_loads
+from repro.runner import RunnerConfig
+from repro.telemetry.core import git_revision
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_runner.json"
+
+SCHEMES = ("ecmp", "clove-ecn")
+LOADS = (0.3, 0.5, 0.7)
+SEEDS = (1, 2, 3)
+
+
+def _grid_base(full: bool) -> ExperimentConfig:
+    """The per-point config: CI-sized by default, paper-ish with --full."""
+    if full:
+        return ExperimentConfig(jobs_per_client=60)
+    return ExperimentConfig(
+        jobs_per_client=8, clients_per_leaf=2, connections_per_client=1
+    )
+
+
+def run(jobs: int, full: bool) -> dict:
+    """Time the grid serially then in parallel; return the benchmark record."""
+    base = _grid_base(full)
+    n_points = len(SCHEMES) * len(LOADS) * len(SEEDS)
+
+    start = time.perf_counter()
+    serial = sweep_loads(
+        base, SCHEMES, LOADS, seeds=SEEDS, runner=RunnerConfig(jobs=1)
+    )
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = sweep_loads(
+        base, SCHEMES, LOADS, seeds=SEEDS, runner=RunnerConfig(jobs=jobs)
+    )
+    parallel_s = time.perf_counter() - start
+
+    return {
+        "recorded_unix": time.time(),
+        "git_rev": git_revision(),
+        "cpu_count": os.cpu_count(),
+        "grid": f"{len(SCHEMES)} schemes x {len(LOADS)} loads x {len(SEEDS)} seeds",
+        "n_points": n_points,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
+        "jobs": jobs,
+        "identical": series_equal(serial, parallel),
+    }
+
+
+def main() -> int:
+    """CLI entry: run the benchmark and append its record to BENCH_runner.json."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", "-j", type=int, default=4,
+                        help="parallel worker count for the second pass")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-ish per-point cost instead of CI-sized")
+    args = parser.parse_args()
+
+    record = run(args.jobs, args.full)
+    history = []
+    if RESULTS_PATH.exists():
+        history = json.loads(RESULTS_PATH.read_text())
+    history.append(record)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(json.dumps(record, indent=2))
+    if not record["identical"]:
+        print("ERROR: parallel series diverged from serial")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

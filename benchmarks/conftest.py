@@ -11,7 +11,6 @@ Set ``REPRO_BENCH_QUALITY=full`` for paper-grade statistics (slower).
 
 import os
 
-import pytest
 
 from repro.harness.figures import FigureQuality
 

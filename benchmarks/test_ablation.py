@@ -9,7 +9,6 @@ contribution of each mechanism is visible in isolation:
   * DCTCP guests (the Section 7 discussion) vs stock NewReno.
 """
 
-from dataclasses import replace
 
 from benchmarks.conftest import FULL, run_once
 from repro.harness.experiment import ExperimentConfig, run_experiment

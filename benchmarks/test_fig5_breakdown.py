@@ -13,7 +13,6 @@ All three panels come out of one sweep (``fig5_all``): every run produces
 every bucket's statistics.
 """
 
-import pytest
 
 from benchmarks.conftest import bench_quality, print_series, run_once
 from repro.harness.figures import fig5_all

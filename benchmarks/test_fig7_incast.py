@@ -6,7 +6,6 @@ simultaneous subflow slow starts collapse it (1.9x worse than Clove at
 fanout 10, 3.4x at 16 in the paper's 16-server testbed).
 """
 
-import os
 
 from benchmarks.conftest import FULL, run_once
 from repro.harness.figures import fig7

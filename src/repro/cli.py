@@ -7,7 +7,12 @@ Subcommands:
 * ``figure``    — regenerate one of the paper's figures by name;
 * ``incast``    — the Figure 7 fan-in experiment;
 * ``schemes``   — list the available load-balancing schemes;
-* ``telemetry`` — inspect a ``--telemetry-out`` JSONL artifact.
+* ``telemetry`` — inspect a ``--telemetry-out`` JSONL artifact;
+* ``cache``     — list or clear a ``--cache-dir`` result cache.
+
+``run``, ``sweep`` and ``incast`` take ``-j/--jobs`` (parallel worker
+processes) and ``--cache-dir`` (resumable result cache) — the
+:mod:`repro.runner` execution layer.
 """
 
 from __future__ import annotations
@@ -16,9 +21,10 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.harness.experiment import ExperimentConfig, SCHEMES, run_experiment
+from repro.harness.experiment import ExperimentConfig, SCHEMES
 from repro.harness.report import render_bar_chart, render_cdf, render_table
 from repro.harness.sweep import sweep_loads
+from repro.runner import JobSpec, ResultCache, RunnerConfig, run_jobs
 from repro.telemetry import Telemetry, load_jsonl
 from repro.telemetry.render import render_dump
 
@@ -29,7 +35,27 @@ def _add_telemetry_opts(parser: argparse.ArgumentParser) -> None:
                              "inspect it with `repro telemetry FILE`")
     parser.add_argument("--profile", action="store_true",
                         help="profile the simulator loop (implies telemetry; "
-                             "summary printed to stderr)")
+                             "summary printed to stderr; per-worker profiles "
+                             "are not merged when -j > 1)")
+
+
+def _add_runner_opts(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                        help="parallel worker processes for the experiment "
+                             "grid (default: 1 = serial)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="cache completed points as JSONL under DIR and "
+                             "skip them on re-runs (resumable sweeps); "
+                             "inspect with `repro cache list --cache-dir DIR`")
+
+
+def _make_runner(args, progress: bool = True) -> RunnerConfig:
+    """Build the RunnerConfig a subcommand's flags describe."""
+    return RunnerConfig(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        progress=progress and (args.jobs > 1 or args.cache_dir is not None),
+    )
 
 
 def _make_telemetry(args) -> Optional[Telemetry]:
@@ -65,7 +91,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--load", type=float, default=0.7,
                         help="offered load as a fraction of bisection bandwidth")
     parser.add_argument("--seed", type=int, default=1)
-    parser.add_argument("--jobs", type=int, default=150,
+    parser.add_argument("--jobs-per-client", type=int, default=150,
                         help="jobs per client (run horizon)")
     parser.add_argument("--asymmetric", action="store_true",
                         help="fail one S2-L2 cable (the paper's scenario)")
@@ -78,7 +104,7 @@ def _config(args, scheme: Optional[str] = None) -> ExperimentConfig:
         scheme=scheme or args.scheme,
         load=args.load,
         seed=args.seed,
-        jobs_per_client=args.jobs,
+        jobs_per_client=args.jobs_per_client,
         asymmetric=args.asymmetric,
         flow_scale=args.flow_scale,
     )
@@ -87,22 +113,30 @@ def _config(args, scheme: Optional[str] = None) -> ExperimentConfig:
 def cmd_run(args) -> int:
     """Handle ``repro run``: one experiment point, print its summary."""
     tel = _make_telemetry(args)
-    result = run_experiment(_config(args), telemetry=tel)
+    (result,) = run_jobs(
+        [JobSpec.experiment(_config(args))],
+        runner=_make_runner(args, progress=False),
+        telemetry=tel,
+    )
     _finish_telemetry(tel, args)
-    summary = result.collector.summary()
-    if summary is None:
+    if not result.ok:
+        print(f"run failed: {result.error}", file=sys.stderr)
+        return 1
+    m = result.metrics
+    if not m["count"]:
         print("no jobs completed", file=sys.stderr)
         return 1
-    print(f"scheme       : {args.scheme}")
+    print(f"scheme       : {args.scheme}"
+          f"{' (cached)' if result.cached else ''}")
     print(f"load         : {args.load:.0%}"
           f"{' (asymmetric)' if args.asymmetric else ''}")
-    print(f"jobs         : {summary.count}"
-          f" ({result.collector.completion_rate:.0%} completed)")
-    print(f"avg FCT      : {summary.mean * 1000:.3f} ms")
-    print(f"p50 / p95 / p99 : {summary.p50*1000:.3f} / "
-          f"{summary.p95*1000:.3f} / {summary.p99*1000:.3f} ms")
-    print(f"sim duration : {result.sim_duration:.3f} s"
-          f" ({result.wall_events} events)")
+    print(f"jobs         : {m['count']:.0f}"
+          f" ({m['completion_rate']:.0%} completed)")
+    print(f"avg FCT      : {m['avg_fct'] * 1000:.3f} ms")
+    print(f"p50 / p95 / p99 : {m['p50_fct']*1000:.3f} / "
+          f"{m['p95_fct']*1000:.3f} / {m['p99_fct']*1000:.3f} ms")
+    print(f"sim duration : {m['sim_duration']:.3f} s"
+          f" ({m['wall_events']:.0f} events)")
     return 0
 
 
@@ -116,9 +150,12 @@ def cmd_sweep(args) -> int:
     loads = [float(x) for x in args.loads.split(",")]
     base = _config(args, scheme=schemes[0])
     tel = _make_telemetry(args)
-    series = sweep_loads(base, schemes, loads, seeds=tuple(
-        args.seed + i for i in range(args.n_seeds)
-    ), telemetry=tel)
+    series = sweep_loads(
+        base, schemes, loads,
+        seeds=tuple(args.seed + i for i in range(args.n_seeds)),
+        telemetry=tel,
+        runner=_make_runner(args),
+    )
     _finish_telemetry(tel, args)
     print(render_table(series))
     return 0
@@ -132,25 +169,26 @@ def cmd_figure(args) -> int:
     quality = FigureQuality(
         loads=tuple(float(x) for x in args.loads.split(",")),
         seeds=tuple(args.seed + i for i in range(args.n_seeds)),
-        jobs_per_client=args.jobs,
+        jobs_per_client=args.jobs_per_client,
     )
+    runner = _make_runner(args)
     name = args.name
     if name == "fig4b":
-        print(render_table(figures.fig4b(quality)))
+        print(render_table(figures.fig4b(quality, runner=runner)))
     elif name == "fig4c":
-        print(render_table(figures.fig4c(quality)))
+        print(render_table(figures.fig4c(quality, runner=runner)))
     elif name in ("fig5a", "fig5b", "fig5c"):
         kind = {"fig5a": "mice", "fig5b": "elephants", "fig5c": "p99"}[name]
-        print(render_table(figures.fig5(kind, quality)))
+        print(render_table(figures.fig5(kind, quality, runner=runner)))
     elif name == "fig6":
-        print(render_table(figures.fig6(quality)))
+        print(render_table(figures.fig6(quality, runner=runner)))
     elif name == "fig8a":
-        print(render_table(figures.fig8a(quality)))
+        print(render_table(figures.fig8a(quality, runner=runner)))
     elif name == "fig8b":
-        print(render_table(figures.fig8b(quality)))
+        print(render_table(figures.fig8b(quality, runner=runner)))
     elif name == "fig9":
         cdfs = figures.fig9(load=args.load, seed=args.seed,
-                            jobs_per_client=args.jobs)
+                            jobs_per_client=args.jobs_per_client)
         print(render_cdf(cdfs))
     else:
         print(f"unknown figure {name!r}", file=sys.stderr)
@@ -160,18 +198,23 @@ def cmd_figure(args) -> int:
 
 def cmd_incast(args) -> int:
     """Handle ``repro incast``: the Figure 7 fan-in experiment."""
-    from repro.harness.incast import run_incast
-
     tel = _make_telemetry(args)
-    results = {}
-    for fanout in (int(x) for x in args.fanouts.split(",")):
-        goodput = run_incast(
+    fanouts = [int(x) for x in args.fanouts.split(",")]
+    specs = [
+        JobSpec.incast(
             scheme=args.scheme, fanout=fanout, seed=args.seed,
             n_requests=args.requests, total_bytes=args.bytes,
-            telemetry=tel,
         )
-        results[f"fanout {fanout}"] = goodput / 1e9
+        for fanout in fanouts
+    ]
+    job_results = run_jobs(specs, runner=_make_runner(args), telemetry=tel)
     _finish_telemetry(tel, args)
+    results = {}
+    for fanout, job in zip(fanouts, job_results):
+        if not job.ok:
+            print(f"fanout {fanout} failed: {job.error}", file=sys.stderr)
+            return 1
+        results[f"fanout {fanout}"] = job.metrics["goodput_bps"] / 1e9
     print(render_bar_chart(results, unit=" Gbps"))
     return 0
 
@@ -194,6 +237,31 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    """Handle ``repro cache``: list or clear a result-cache directory."""
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.path}")
+        return 0
+    entries = cache.entries()
+    if not entries:
+        print(f"(cache {cache.path} is empty)")
+    for entry in entries:
+        metrics = entry.get("metrics", {})
+        if "avg_fct" in metrics:
+            value = f"avg_fct={metrics['avg_fct'] * 1000:.3f}ms"
+        elif "goodput_bps" in metrics:
+            value = f"goodput={metrics['goodput_bps'] / 1e9:.3f}Gbps"
+        else:
+            value = ""
+        print(f"{entry['fingerprint'][:12]}  {entry.get('kind', '?'):<10} "
+              f"{entry.get('label', ''):<40} {value}")
+    print(f"{len(entries)} cached point(s)"
+          + (f", {cache.stale_entries} stale" if cache.stale_entries else ""))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse tree for the `repro` CLI."""
     parser = argparse.ArgumentParser(
@@ -205,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run one experiment point")
     p_run.add_argument("scheme", choices=SCHEMES)
     _add_common(p_run)
+    _add_runner_opts(p_run)
     _add_telemetry_opts(p_run)
     p_run.set_defaults(fn=cmd_run)
 
@@ -213,6 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--loads", default="0.3,0.5,0.7")
     p_sweep.add_argument("--n-seeds", type=int, default=1)
     _add_common(p_sweep)
+    _add_runner_opts(p_sweep)
     _add_telemetry_opts(p_sweep)
     p_sweep.set_defaults(fn=cmd_sweep, scheme="ecmp")
 
@@ -221,6 +291,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--loads", default="0.3,0.5,0.7")
     p_fig.add_argument("--n-seeds", type=int, default=1)
     _add_common(p_fig)
+    _add_runner_opts(p_fig)
     p_fig.set_defaults(fn=cmd_figure)
 
     p_incast = sub.add_parser("incast", help="Figure 7 incast experiment")
@@ -229,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_incast.add_argument("--requests", type=int, default=8)
     p_incast.add_argument("--bytes", type=int, default=2_000_000)
     p_incast.add_argument("--seed", type=int, default=1)
+    _add_runner_opts(p_incast)
     _add_telemetry_opts(p_incast)
     p_incast.set_defaults(fn=cmd_incast)
 
@@ -242,6 +314,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_tel.add_argument("--sample", type=int, default=8,
                        help="sample events to print per section")
     p_tel.set_defaults(fn=cmd_telemetry)
+
+    p_cache = sub.add_parser("cache", help="inspect or clear a result cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for cache_command in ("list", "clear"):
+        p_sub = cache_sub.add_parser(
+            cache_command,
+            help=f"{cache_command} cached experiment points",
+        )
+        p_sub.add_argument("--cache-dir", metavar="DIR", required=True,
+                           help="cache directory used by run/sweep/incast")
+        p_sub.set_defaults(fn=cmd_cache)
     return parser
 
 

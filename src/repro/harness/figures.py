@@ -5,6 +5,12 @@ Each returns the figure's data series and can render the text table the
 benchmarks print.  Quality knobs (loads, seeds, jobs per client) default to
 CI-speed settings; pass larger values to approach the paper's statistics.
 
+Every grid-shaped figure accepts ``runner=RunnerConfig(...)`` and executes
+through :mod:`repro.runner`, so a figure regenerates on parallel workers
+and resumes from a result cache (``fig9`` is the exception: it needs each
+run's full FCT distribution, which the scalar cache payload does not
+carry, so it stays in-process).
+
 The experiment index in DESIGN.md maps each function to its paper figure;
 EXPERIMENTS.md records paper-vs-measured values.
 """
@@ -20,12 +26,33 @@ from repro.harness.experiment import (
     default_topology,
     run_experiment,
 )
-from repro.harness.sweep import sweep_loads
+from repro.harness.metrics import ELEPHANT_CUTOFF_BYTES, MICE_CUTOFF_BYTES
+from repro.harness.sweep import _mean_metric, sweep_loads
+from repro.runner import JobSpec, RunnerConfig, run_jobs
 
 #: schemes of the testbed comparison (Figures 4-6)
 TESTBED_SCHEMES = ("ecmp", "edge-flowlet", "clove-ecn", "mptcp", "presto")
 #: schemes of the NS2 comparison (Figures 8-9)
 SIM_SCHEMES = ("ecmp", "edge-flowlet", "clove-ecn", "clove-int", "conga")
+
+__all__ = [
+    "TESTBED_SCHEMES",
+    "SIM_SCHEMES",
+    "MICE_CUTOFF_BYTES",
+    "ELEPHANT_CUTOFF_BYTES",
+    "FigureQuality",
+    "fig4b",
+    "fig4c",
+    "fig5",
+    "fig5_all",
+    "fig6",
+    "fig7",
+    "fig8a",
+    "fig8b",
+    "fig9",
+    "capture_ratios",
+    "fig9_percentiles",
+]
 
 
 @dataclass
@@ -47,24 +74,36 @@ Series = Dict[str, List[Tuple[float, float]]]
 # ----------------------------------------------------------------------
 # Figure 4b / 4c — testbed average FCT vs load
 # ----------------------------------------------------------------------
-def fig4b(quality: Optional[FigureQuality] = None) -> Series:
+def fig4b(
+    quality: Optional[FigureQuality] = None,
+    runner: Optional[RunnerConfig] = None,
+) -> Series:
     """Symmetric topology, average FCT vs network load (testbed schemes)."""
     q = quality or FigureQuality()
-    return sweep_loads(q.base(asymmetric=False), TESTBED_SCHEMES, q.loads, q.seeds)
+    return sweep_loads(
+        q.base(asymmetric=False), TESTBED_SCHEMES, q.loads, q.seeds, runner=runner
+    )
 
 
-def fig4c(quality: Optional[FigureQuality] = None) -> Series:
+def fig4c(
+    quality: Optional[FigureQuality] = None,
+    runner: Optional[RunnerConfig] = None,
+) -> Series:
     """Asymmetric topology (one S2-L2 cable down), average FCT vs load."""
     q = quality or FigureQuality()
-    return sweep_loads(q.base(asymmetric=True), TESTBED_SCHEMES, q.loads, q.seeds)
+    return sweep_loads(
+        q.base(asymmetric=True), TESTBED_SCHEMES, q.loads, q.seeds, runner=runner
+    )
 
 
 # ----------------------------------------------------------------------
 # Figure 5 — FCT breakdown under asymmetry
 # ----------------------------------------------------------------------
-#: the paper buckets against full-size flows; scaled by flow_scale at run time
-MICE_CUTOFF_BYTES = 100 * 1000
-ELEPHANT_CUTOFF_BYTES = 10 * 1000 * 1000
+_BUCKET_KEYS = {
+    "mice": "mice_avg_fct",
+    "elephants": "elephant_avg_fct",
+    "p99": "p99_fct",
+}
 
 
 def _bucket_metric(kind: str):
@@ -80,10 +119,15 @@ def _bucket_metric(kind: str):
             return summary.mean if summary else float("nan")
         summary = result.collector.summary()
         return summary.p99 if summary else float("nan")
+    metric.metric_key = _BUCKET_KEYS[kind]
     return metric
 
 
-def fig5(kind: str, quality: Optional[FigureQuality] = None) -> Series:
+def fig5(
+    kind: str,
+    quality: Optional[FigureQuality] = None,
+    runner: Optional[RunnerConfig] = None,
+) -> Series:
     """FCT breakdown on the asymmetric testbed.
 
     ``kind``: "mice" (Fig 5a, <100KB flows), "elephants" (Fig 5b, >10MB
@@ -94,29 +138,37 @@ def fig5(kind: str, quality: Optional[FigureQuality] = None) -> Series:
     q = quality or FigureQuality()
     return sweep_loads(
         q.base(asymmetric=True), TESTBED_SCHEMES, q.loads, q.seeds,
-        metric=_bucket_metric(kind),
+        metric=_bucket_metric(kind), runner=runner,
     )
 
 
-def fig5_all(quality: Optional[FigureQuality] = None) -> Dict[str, Series]:
-    """All three Figure 5 panels from ONE sweep (each run yields every
-    bucket's statistics, so re-sweeping per panel would triple the cost)."""
+def fig5_all(
+    quality: Optional[FigureQuality] = None,
+    runner: Optional[RunnerConfig] = None,
+) -> Dict[str, Series]:
+    """All three Figure 5 panels from ONE sweep (each run's payload carries
+    every bucket's statistics, so re-sweeping per panel would triple the
+    cost)."""
     q = quality or FigureQuality()
-    metrics = {kind: _bucket_metric(kind) for kind in ("mice", "elephants", "p99")}
-    panels: Dict[str, Series] = {kind: {} for kind in metrics}
+    specs = [
+        JobSpec.experiment(
+            q.base(scheme=scheme, asymmetric=True, load=load, seed=seed)
+        )
+        for scheme in TESTBED_SCHEMES
+        for load in q.loads
+        for seed in q.seeds
+    ]
+    results = run_jobs(specs, runner=runner)
+    panels: Dict[str, Series] = {kind: {} for kind in _BUCKET_KEYS}
+    index = 0
     for scheme in TESTBED_SCHEMES:
-        points: Dict[str, List[Tuple[float, float]]] = {k: [] for k in metrics}
+        points: Dict[str, List[Tuple[float, float]]] = {k: [] for k in _BUCKET_KEYS}
         for load in q.loads:
-            sums = {k: 0.0 for k in metrics}
-            for seed in q.seeds:
-                result = run_experiment(
-                    q.base(scheme=scheme, asymmetric=True, load=load, seed=seed)
-                )
-                for kind, metric in metrics.items():
-                    sums[kind] += metric(result)
-            for kind in metrics:
-                points[kind].append((load, sums[kind] / len(q.seeds)))
-        for kind in metrics:
+            chunk = results[index:index + len(q.seeds)]
+            index += len(q.seeds)
+            for kind, key in _BUCKET_KEYS.items():
+                points[kind].append((load, _mean_metric(chunk, key)))
+        for kind in _BUCKET_KEYS:
             panels[kind][scheme] = points[kind]
     return panels
 
@@ -124,7 +176,10 @@ def fig5_all(quality: Optional[FigureQuality] = None) -> Dict[str, Series]:
 # ----------------------------------------------------------------------
 # Figure 6 — Clove-ECN parameter sensitivity
 # ----------------------------------------------------------------------
-def fig6(quality: Optional[FigureQuality] = None) -> Series:
+def fig6(
+    quality: Optional[FigureQuality] = None,
+    runner: Optional[RunnerConfig] = None,
+) -> Series:
     """Clove-ECN under (flowlet-gap, ECN-threshold) variations, asymmetric.
 
     The paper's four settings: best (1xRTT, 20 pkts), low gap (0.2xRTT),
@@ -137,23 +192,32 @@ def fig6(quality: Optional[FigureQuality] = None) -> Series:
         "clove(5RTT,20p)": (5.0, 20),
         "clove(1RTT,40p)": (1.0, 40),
     }
-    series: Series = {}
     topo = default_topology()
-    for label, (gap_rtt, threshold) in variants.items():
+    specs = [
+        JobSpec.experiment(
+            q.base(
+                scheme="clove-ecn",
+                asymmetric=True,
+                load=load,
+                seed=seed,
+                flowlet_gap_rtt=gap_rtt,
+                topology=replace(topo, ecn_threshold_packets=threshold),
+            ),
+            label=f"{label} load={load:g} seed={seed}",
+        )
+        for label, (gap_rtt, threshold) in variants.items()
+        for load in q.loads
+        for seed in q.seeds
+    ]
+    results = run_jobs(specs, runner=runner)
+    series: Series = {}
+    index = 0
+    for label in variants:
         points = []
         for load in q.loads:
-            values = []
-            for seed in q.seeds:
-                config = q.base(
-                    scheme="clove-ecn",
-                    asymmetric=True,
-                    load=load,
-                    seed=seed,
-                    flowlet_gap_rtt=gap_rtt,
-                    topology=replace(topo, ecn_threshold_packets=threshold),
-                )
-                values.append(run_experiment(config).avg_fct)
-            points.append((load, sum(values) / len(values)))
+            chunk = results[index:index + len(q.seeds)]
+            index += len(q.seeds)
+            points.append((load, _mean_metric(chunk, "avg_fct")))
         series[label] = points
     return series
 
@@ -166,30 +230,32 @@ def fig7(
     seeds: Sequence[int] = (1,),
     n_requests: int = 20,
     total_bytes: int = 1_000_000,
+    runner: Optional[RunnerConfig] = None,
 ) -> Series:
     """Client goodput under partition-aggregate incast (Section 5.3).
 
     The paper requests 10MB split over ``n`` servers per round; the default
     here scales the request to 1MB for CI speed (same fan-in dynamics).
     """
-    from repro.harness.incast import run_incast
-
+    schemes = ("clove-ecn", "edge-flowlet", "mptcp")
+    specs = [
+        JobSpec.incast(
+            scheme=scheme, fanout=fanout, seed=seed,
+            n_requests=n_requests, total_bytes=total_bytes,
+        )
+        for scheme in schemes
+        for fanout in fanouts
+        for seed in seeds
+    ]
+    results = run_jobs(specs, runner=runner)
     series: Series = {}
-    for scheme in ("clove-ecn", "edge-flowlet", "mptcp"):
+    index = 0
+    for scheme in schemes:
         points = []
         for fanout in fanouts:
-            values = []
-            for seed in seeds:
-                values.append(
-                    run_incast(
-                        scheme=scheme,
-                        fanout=fanout,
-                        seed=seed,
-                        n_requests=n_requests,
-                        total_bytes=total_bytes,
-                    )
-                )
-            points.append((float(fanout), sum(values) / len(values)))
+            chunk = results[index:index + len(seeds)]
+            index += len(seeds)
+            points.append((float(fanout), _mean_metric(chunk, "goodput_bps")))
         series[scheme] = points
     return series
 
@@ -197,16 +263,26 @@ def fig7(
 # ----------------------------------------------------------------------
 # Figure 8 — NS2-style simulation comparison (adds Clove-INT and CONGA)
 # ----------------------------------------------------------------------
-def fig8a(quality: Optional[FigureQuality] = None) -> Series:
+def fig8a(
+    quality: Optional[FigureQuality] = None,
+    runner: Optional[RunnerConfig] = None,
+) -> Series:
     """Simulation, symmetric: ECMP/Edge-Flowlet/Clove-ECN/Clove-INT/CONGA."""
     q = quality or FigureQuality()
-    return sweep_loads(q.base(asymmetric=False), SIM_SCHEMES, q.loads, q.seeds)
+    return sweep_loads(
+        q.base(asymmetric=False), SIM_SCHEMES, q.loads, q.seeds, runner=runner
+    )
 
 
-def fig8b(quality: Optional[FigureQuality] = None) -> Series:
+def fig8b(
+    quality: Optional[FigureQuality] = None,
+    runner: Optional[RunnerConfig] = None,
+) -> Series:
     """Simulation, asymmetric: the paper's 80%-capture headline figure."""
     q = quality or FigureQuality()
-    return sweep_loads(q.base(asymmetric=True), SIM_SCHEMES, q.loads, q.seeds)
+    return sweep_loads(
+        q.base(asymmetric=True), SIM_SCHEMES, q.loads, q.seeds, runner=runner
+    )
 
 
 def capture_ratios(series: Series, load: float) -> Dict[str, float]:
@@ -241,7 +317,11 @@ def fig9(
     jobs_per_client: int = 60,
     schemes: Sequence[str] = ("ecmp", "clove-ecn", "conga"),
 ) -> Dict[str, List[Tuple[float, float]]]:
-    """CDFs of mice-flow completion times on the asymmetric topology."""
+    """CDFs of mice-flow completion times on the asymmetric topology.
+
+    Runs in-process: a CDF needs every completed flow's FCT, which the
+    runner's scalar cache payload deliberately does not carry.
+    """
     cdfs = {}
     for scheme in schemes:
         result = run_experiment(

@@ -1,0 +1,75 @@
+"""The standard scalar-metric payload a runner job computes.
+
+Parallel execution (:mod:`repro.runner`) cannot ship whole
+:class:`~repro.harness.experiment.ExperimentResult` objects across the
+process boundary — they hold the simulator, the network and live host
+state.  Instead every worker reduces its run to this fixed dictionary of
+scalars, which is also what the on-disk result cache stores.  Every metric
+any figure extracts (overall mean, tail percentiles, the Figure 5 mice /
+elephant buckets) is computed up front, so a cached point can serve any
+figure later without re-running.
+
+Extractors in :mod:`repro.harness.sweep` and :mod:`repro.harness.figures`
+resolve to keys of this payload (see ``metric_key`` there); add a key here
+— and bump :data:`repro.runner.job.SCHEMA_VERSION` — when a new figure
+needs a scalar the payload does not yet carry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+#: Figure 5 "mice" bucket: flows below this size (paper-scale bytes; the
+#: cutoff is multiplied by the run's ``flow_scale`` like the flows are).
+MICE_CUTOFF_BYTES = 100 * 1000
+#: Figure 5 "elephant" bucket: flows above this size (paper-scale bytes).
+ELEPHANT_CUTOFF_BYTES = 10 * 1000 * 1000
+
+#: every key :func:`standard_metrics` emits, in payload order
+METRIC_KEYS: Tuple[str, ...] = (
+    "avg_fct",
+    "p50_fct",
+    "p95_fct",
+    "p99_fct",
+    "max_fct",
+    "mice_avg_fct",
+    "elephant_avg_fct",
+    "count",
+    "completion_rate",
+    "sim_duration",
+    "wall_events",
+)
+
+_NAN = float("nan")
+
+
+def standard_metrics(result) -> Dict[str, float]:
+    """Reduce an :class:`ExperimentResult` to the standard scalar payload.
+
+    Empty buckets (no completed jobs, no mice, no elephants) yield NaN for
+    their FCT entries, matching what the in-process extractors return.
+    """
+    collector = result.collector
+    summary = collector.summary()
+    scale = result.config.flow_scale
+    mice = collector.summary(max_size=int(MICE_CUTOFF_BYTES * scale))
+    elephants = collector.summary(min_size=int(ELEPHANT_CUTOFF_BYTES * scale))
+    return {
+        "avg_fct": summary.mean if summary else _NAN,
+        "p50_fct": summary.p50 if summary else _NAN,
+        "p95_fct": summary.p95 if summary else _NAN,
+        "p99_fct": summary.p99 if summary else _NAN,
+        "max_fct": summary.max if summary else _NAN,
+        "mice_avg_fct": mice.mean if mice else _NAN,
+        "elephant_avg_fct": elephants.mean if elephants else _NAN,
+        "count": float(summary.count if summary else 0),
+        "completion_rate": collector.completion_rate,
+        "sim_duration": result.sim_duration,
+        "wall_events": float(result.wall_events),
+    }
+
+
+def is_missing(value: float) -> bool:
+    """True when a payload value marks an empty bucket (NaN)."""
+    return isinstance(value, float) and math.isnan(value)

@@ -2,18 +2,38 @@
 
 The paper runs each point with three random seeds and reports the average;
 :func:`average_over_seeds` reproduces that protocol.
+
+Both sweep entry points execute through :mod:`repro.runner`, so a grid can
+run on parallel worker processes and resume from an on-disk result cache —
+pass a :class:`~repro.runner.RunnerConfig`::
+
+    series = sweep_loads(base, schemes, loads, seeds=(1, 2, 3),
+                         runner=RunnerConfig(jobs=8, cache_dir=".cache"))
+
+Metrics are resolved to keys of the standard scalar payload
+(:data:`repro.harness.metrics.METRIC_KEYS`) so they survive the process
+and cache boundaries; the bundled extractors (:func:`avg_fct`,
+:func:`p99_fct`, the Figure 5 bucket metrics) are pre-tagged.  A *custom*
+callable still works — in-process and uncached only, since arbitrary
+closures cannot cross either boundary.
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.harness.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.harness.metrics import METRIC_KEYS
+from repro.runner import JobResult, JobSpec, RunnerConfig, run_jobs
 from repro.telemetry import Telemetry
 
 #: metric extractor: result -> float
 Metric = Callable[[ExperimentResult], float]
+#: what sweep functions accept as a metric: a payload key or an extractor
+MetricSpec = Union[str, Metric]
 
 
 def avg_fct(result: ExperimentResult) -> float:
@@ -26,24 +46,80 @@ def p99_fct(result: ExperimentResult) -> float:
     return result.p99_fct
 
 
+# Payload keys let these extractors cross the runner's process/cache
+# boundary (the worker computes the full payload; the key selects from it).
+avg_fct.metric_key = "avg_fct"
+p99_fct.metric_key = "p99_fct"
+
+
+def metric_key(metric: MetricSpec) -> Optional[str]:
+    """Resolve a metric spec to its standard-payload key, if it has one.
+
+    Strings are validated against :data:`~repro.harness.metrics.METRIC_KEYS`;
+    callables resolve through their ``metric_key`` attribute (set on the
+    bundled extractors).  Returns None for untagged callables, which can
+    only run in-process.
+    """
+    if isinstance(metric, str):
+        if metric not in METRIC_KEYS:
+            raise ValueError(
+                f"unknown metric key {metric!r} (expected one of {METRIC_KEYS})"
+            )
+        return metric
+    return getattr(metric, "metric_key", None)
+
+
+def _require_in_process(runner: Optional[RunnerConfig]) -> None:
+    if runner is not None and (runner.jobs > 1 or runner.cache_dir):
+        raise ValueError(
+            "custom metric callables cannot cross the process/cache boundary;"
+            " use a payload key from repro.harness.metrics.METRIC_KEYS or a"
+            " metric_key-tagged extractor"
+        )
+
+
+def _mean_metric(chunk: Sequence[JobResult], key: str) -> float:
+    """Average one payload key over a chunk of job results (NaN on failure)."""
+    values = []
+    for result in chunk:
+        if result.metrics is None:
+            warnings.warn(
+                f"job {result.spec.label!r} failed ({result.error}); "
+                f"its grid point is NaN",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return float("nan")
+        values.append(float(result.metrics[key]))
+    return sum(values) / len(values)
+
+
 def average_over_seeds(
     base: ExperimentConfig,
     seeds: Sequence[int],
-    metric: Metric = avg_fct,
+    metric: MetricSpec = avg_fct,
     telemetry: Optional[Telemetry] = None,
+    runner: Optional[RunnerConfig] = None,
 ) -> float:
     """Run ``base`` once per seed and average the metric (paper protocol).
 
     When a ``telemetry`` scope is given, every run reports into it (one
-    manifest per run, shared counters/events).
+    manifest per run, shared counters/events).  ``runner`` selects
+    parallelism and caching; None keeps the serial, uncached behaviour.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    values = []
-    for seed in seeds:
-        result = run_experiment(replace(base, seed=seed), telemetry=telemetry)
-        values.append(metric(result))
-    return sum(values) / len(values)
+    key = metric_key(metric)
+    if key is None:
+        _require_in_process(runner)
+        values = [
+            metric(run_experiment(replace(base, seed=seed), telemetry=telemetry))
+            for seed in seeds
+        ]
+        return sum(values) / len(values)
+    specs = [JobSpec.experiment(replace(base, seed=seed)) for seed in seeds]
+    results = run_jobs(specs, runner=runner, telemetry=telemetry)
+    return _mean_metric(results, key)
 
 
 def sweep_loads(
@@ -51,19 +127,50 @@ def sweep_loads(
     schemes: Sequence[str],
     loads: Sequence[float],
     seeds: Sequence[int] = (1,),
-    metric: Metric = avg_fct,
+    metric: MetricSpec = avg_fct,
     telemetry: Optional[Telemetry] = None,
+    runner: Optional[RunnerConfig] = None,
 ) -> Dict[str, List[Tuple[float, float]]]:
-    """Produce {scheme: [(load, metric), ...]} — one figure's line series."""
-    series: Dict[str, List[Tuple[float, float]]] = {}
+    """Produce {scheme: [(load, metric), ...]} — one figure's line series.
+
+    The full scheme x load x seed grid is submitted to the runner as one
+    batch, so with ``runner.jobs > 1`` every point of the figure runs
+    concurrently (not just the seeds of one point).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    key = metric_key(metric)
+    if key is None:
+        _require_in_process(runner)
+        series: Dict[str, List[Tuple[float, float]]] = {}
+        for scheme in schemes:
+            series[scheme] = [
+                (
+                    load,
+                    average_over_seeds(
+                        replace(base, scheme=scheme, load=load), seeds, metric,
+                        telemetry=telemetry,
+                    ),
+                )
+                for load in loads
+            ]
+        return series
+
+    specs = [
+        JobSpec.experiment(replace(base, scheme=scheme, load=load, seed=seed))
+        for scheme in schemes
+        for load in loads
+        for seed in seeds
+    ]
+    results = run_jobs(specs, runner=runner, telemetry=telemetry)
+    series = {}
+    index = 0
     for scheme in schemes:
         points: List[Tuple[float, float]] = []
         for load in loads:
-            value = average_over_seeds(
-                replace(base, scheme=scheme, load=load), seeds, metric,
-                telemetry=telemetry,
-            )
-            points.append((load, value))
+            chunk = results[index:index + len(seeds)]
+            index += len(seeds)
+            points.append((load, _mean_metric(chunk, key)))
         series[scheme] = points
     return series
 
@@ -73,9 +180,23 @@ def format_series_table(
     metric_name: str = "avg FCT (s)",
     scale: float = 1.0,
 ) -> str:
-    """Render a sweep as the text table the benchmarks print."""
+    """Render a sweep as the text table the benchmarks print.
+
+    Raises :class:`ValueError` on an empty series dict, and when schemes
+    carry different load grids (a ragged table would silently misalign
+    rows).
+    """
+    if not series:
+        raise ValueError("cannot format an empty series dict")
     schemes = list(series)
-    loads = [load for load, _ in next(iter(series.values()))]
+    loads = [load for load, _ in series[schemes[0]]]
+    for scheme in schemes[1:]:
+        scheme_loads = [load for load, _ in series[scheme]]
+        if scheme_loads != loads:
+            raise ValueError(
+                f"ragged load grids: {scheme!r} has {scheme_loads} but "
+                f"{schemes[0]!r} has {loads}; every scheme must share one grid"
+            )
     header = ["load(%)"] + schemes
     lines = ["  ".join(f"{h:>14}" for h in header)]
     for i, load in enumerate(loads):
@@ -85,3 +206,28 @@ def format_series_table(
         lines.append("  ".join(row))
     lines.append(f"(metric: {metric_name})")
     return "\n".join(lines)
+
+
+def series_equal(
+    a: Dict[str, List[Tuple[float, float]]],
+    b: Dict[str, List[Tuple[float, float]]],
+) -> bool:
+    """Bit-exact equality of two sweep series (NaN compares equal to NaN).
+
+    The serial-vs-parallel determinism guarantee is stated in these terms:
+    ``jobs=1`` and ``jobs=N`` must produce series for which this holds.
+    """
+    if set(a) != set(b):
+        return False
+    for scheme, points in a.items():
+        other = b[scheme]
+        if len(points) != len(other):
+            return False
+        for (load_a, value_a), (load_b, value_b) in zip(points, other):
+            if load_a != load_b:
+                return False
+            if math.isnan(value_a) and math.isnan(value_b):
+                continue
+            if value_a != value_b:
+                return False
+    return True

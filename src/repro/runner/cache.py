@@ -1,0 +1,133 @@
+"""On-disk result cache: JSONL under a cache dir, keyed by fingerprint.
+
+One line per completed job::
+
+    {"schema": 1, "fingerprint": "...", "kind": "experiment",
+     "label": "clove-ecn load=0.7 seed=1", "describe": {...},
+     "metrics": {"avg_fct": ..., ...}, "wall_s": 1.9,
+     "recorded_unix": ...}
+
+The format is append-only, so an interrupted sweep simply resumes: every
+point that finished before the interrupt is served from cache on the next
+invocation and only the missing points re-run.  Robustness rules:
+
+* a line that is not valid JSON (e.g. a write cut off mid-line by a crash)
+  is **skipped with a warning**, never a crash;
+* a line whose ``schema`` differs from the current
+  :data:`~repro.runner.job.SCHEMA_VERSION` is silently ignored — stale
+  results from older code are never served;
+* duplicate fingerprints keep the most recent line.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import warnings
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.runner.job import JobSpec, SCHEMA_VERSION
+
+#: the single JSONL file a cache dir holds
+CACHE_FILENAME = "results.jsonl"
+
+
+class ResultCache:
+    """Fingerprint-keyed store of completed job payloads in one JSONL file."""
+
+    def __init__(self, cache_dir: Union[str, Path]) -> None:
+        self.dir = Path(cache_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.path = self.dir / CACHE_FILENAME
+        #: malformed lines skipped during the last load
+        self.corrupt_lines = 0
+        #: entries ignored for carrying a stale schema version
+        self.stale_entries = 0
+        self._entries: Optional[Dict[str, Dict[str, Any]]] = None
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _load(self) -> Dict[str, Dict[str, Any]]:
+        if self._entries is not None:
+            return self._entries
+        entries: Dict[str, Dict[str, Any]] = {}
+        self.corrupt_lines = 0
+        self.stale_entries = 0
+        if self.path.exists():
+            with open(self.path, "r", encoding="utf-8") as fp:
+                for line in fp:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        self.corrupt_lines += 1
+                        continue
+                    if not isinstance(record, dict) or "fingerprint" not in record:
+                        self.corrupt_lines += 1
+                        continue
+                    if record.get("schema") != SCHEMA_VERSION:
+                        self.stale_entries += 1
+                        continue
+                    entries[record["fingerprint"]] = record
+        if self.corrupt_lines:
+            warnings.warn(
+                f"{self.path}: skipped {self.corrupt_lines} corrupt cache "
+                f"line(s); cached results on intact lines are unaffected",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        self._entries = entries
+        return entries
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The cached record for ``fingerprint``, or None on a miss."""
+        return self._load().get(fingerprint)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All valid cached records, oldest first."""
+        return sorted(
+            self._load().values(), key=lambda r: r.get("recorded_unix", 0.0)
+        )
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def put(
+        self, spec: JobSpec, metrics: Dict[str, Any], wall_s: float = 0.0
+    ) -> Dict[str, Any]:
+        """Append one completed job's payload; returns the stored record."""
+        record = {
+            "schema": SCHEMA_VERSION,
+            "fingerprint": spec.fingerprint,
+            "kind": spec.kind,
+            "label": spec.label,
+            "describe": spec.describe(),
+            "metrics": metrics,
+            "wall_s": wall_s,
+            "recorded_unix": time.time(),
+        }
+        with open(self.path, "a", encoding="utf-8") as fp:
+            fp.write(json.dumps(record, default=str))
+            fp.write("\n")
+        self._load()[record["fingerprint"]] = record
+        return record
+
+    def clear(self) -> int:
+        """Delete every cached result; returns how many were removed."""
+        count = len(self._load())
+        if self.path.exists():
+            self.path.unlink()
+        self._entries = {}
+        self.corrupt_lines = 0
+        self.stale_entries = 0
+        return count

@@ -1,0 +1,112 @@
+"""Stderr progress reporting for grid runs: done/total, cache hits, ETA.
+
+On a TTY the reporter redraws one status line in place; on a pipe it
+prints a throttled line roughly every tenth of the grid so logs stay
+readable.  The ETA extrapolates from *live* completions only — cached
+points are free and would otherwise make the estimate absurdly
+optimistic.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+def _format_eta(seconds: float) -> str:
+    """Render a duration as m:ss (or h:mm:ss beyond an hour)."""
+    seconds = max(0, int(seconds))
+    hours, rem = divmod(seconds, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class ProgressReporter:
+    """Tracks a grid's completion state and paints it to stderr."""
+
+    def __init__(
+        self,
+        total: int,
+        enabled: bool = True,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled and total > 0
+        self.done = 0
+        self.cached = 0
+        self.failed = 0
+        self._live_done = 0
+        self._started = time.monotonic()
+        self._last_width = 0
+        try:
+            self._isatty = bool(self.stream.isatty())
+        except (AttributeError, ValueError):
+            self._isatty = False
+        self._step = max(1, total // 10)
+
+    # ------------------------------------------------------------------
+    # State updates
+    # ------------------------------------------------------------------
+    def note_cached(self, count: int) -> None:
+        """Record ``count`` points served straight from the result cache."""
+        if count <= 0:
+            return
+        self.cached += count
+        self.done += count
+        self._render()
+
+    def job_done(self, failed: bool = False) -> None:
+        """Record one live job finishing (or failing terminally)."""
+        self.done += 1
+        self._live_done += 1
+        if failed:
+            self.failed += 1
+        self._render()
+
+    def finish(self) -> None:
+        """Print the final summary line (always on its own line)."""
+        if not self.enabled:
+            return
+        elapsed = time.monotonic() - self._started
+        line = (
+            f"[runner] {self.done}/{self.total} done"
+            f" ({self.cached} cached, {self.failed} failed)"
+            f" in {_format_eta(elapsed)}"
+        )
+        if self._isatty and self._last_width:
+            self.stream.write("\r" + line.ljust(self._last_width) + "\n")
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _eta(self) -> Optional[float]:
+        if self._live_done == 0:
+            return None
+        rate = (time.monotonic() - self._started) / self._live_done
+        return rate * (self.total - self.done)
+
+    def _render(self) -> None:
+        if not self.enabled or self.done >= self.total:
+            return  # finish() paints the terminal line
+        if not self._isatty and self.done % self._step != 0:
+            return
+        eta = self._eta()
+        line = (
+            f"[runner] {self.done}/{self.total} done"
+            f" ({self.cached} cached, {self.failed} failed)"
+        )
+        if eta is not None:
+            line += f" ETA {_format_eta(eta)}"
+        if self._isatty:
+            self.stream.write("\r" + line.ljust(self._last_width))
+            self._last_width = max(self._last_width, len(line))
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()

@@ -1,0 +1,64 @@
+"""Job execution bodies: in-process and inside pool worker processes.
+
+The heavy harness imports happen *inside* the functions, for two reasons:
+the runner package must not import :mod:`repro.harness` at module level
+(the harness imports the runner — the lazy imports keep the dependency
+one-way), and a pool worker forked before the harness was imported pays
+the import cost once, on its first job.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Optional
+
+from repro.runner.job import JobSpec
+
+
+def execute_job(spec: JobSpec, telemetry=None) -> Dict[str, Any]:
+    """Run one job in this process.
+
+    Returns ``{"metrics": <scalar payload>, "wall_s": <float>}`` — the
+    transportable reduction of the run (see
+    :func:`repro.harness.metrics.standard_metrics`).  ``telemetry`` is the
+    scope the run reports into, exactly as in direct ``run_experiment``
+    calls.
+    """
+    start = time.perf_counter()
+    if spec.kind == "experiment":
+        from repro.harness.experiment import run_experiment
+        from repro.harness.metrics import standard_metrics
+
+        if spec.config is None:
+            raise ValueError("experiment JobSpec needs a config")
+        result = run_experiment(spec.config, telemetry=telemetry)
+        metrics = standard_metrics(result)
+    elif spec.kind == "incast":
+        from repro.harness.incast import run_incast
+
+        goodput = run_incast(telemetry=telemetry, **dict(spec.params))
+        metrics = {"goodput_bps": goodput}
+    else:
+        raise ValueError(f"unknown job kind {spec.kind!r}")
+    return {"metrics": metrics, "wall_s": time.perf_counter() - start}
+
+
+def pool_worker(
+    spec: JobSpec, want_telemetry: bool, profile: bool
+) -> Dict[str, Any]:
+    """Entry point executed inside a pool process (module-level: picklable).
+
+    When the parent sweep carries a telemetry scope the worker builds its
+    own, runs the job through it and ships the serialized scope back under
+    the ``"telemetry"`` key; the parent merges it with
+    :meth:`repro.telemetry.Telemetry.absorb`.
+    """
+    telemetry: Optional[Any] = None
+    if want_telemetry:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(profile=profile)
+    payload = execute_job(spec, telemetry=telemetry)
+    if telemetry is not None:
+        payload["telemetry"] = telemetry.dump_state()
+    return payload

@@ -174,6 +174,39 @@ class Telemetry:
         )
 
     # ------------------------------------------------------------------
+    # Cross-process merge (repro.runner workers dump, the parent absorbs)
+    # ------------------------------------------------------------------
+    def dump_state(self) -> Dict[str, Any]:
+        """Serialize the whole scope for transport between processes.
+
+        The result is plain JSON-able data (it crosses a pickle boundary in
+        :mod:`repro.runner` and could equally be written to disk).  Profiler
+        state is not transported — per-worker engine profiles cannot be
+        merged meaningfully into the parent's.
+        """
+        return {
+            "manifests": list(self.manifests),
+            "registry": self.registry.dump(),
+            "events": self.events.dump(),
+            "events_dropped": self.events.dropped,
+        }
+
+    def absorb(self, state: Dict[str, Any]) -> None:
+        """Merge a :meth:`dump_state` from another scope into this one.
+
+        Manifests append, counters add, gauges take the dumped value,
+        histograms merge buckets, and events replay into the ring (oldest
+        first, so the merged window drops the right end under pressure).
+        """
+        if not self.enabled:
+            return
+        self.manifests.extend(state.get("manifests", ()))
+        self.registry.absorb(state.get("registry", {}))
+        self.events.absorb(
+            state.get("events", ()), dropped=state.get("events_dropped", 0)
+        )
+
+    # ------------------------------------------------------------------
     # Export / snapshot
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:

@@ -88,6 +88,25 @@ class EventLog:
         self.emitted = len(self._buffer)
 
     # ------------------------------------------------------------------
+    # Cross-process merge (see repro.runner)
+    # ------------------------------------------------------------------
+    def dump(self) -> List[List[Any]]:
+        """Buffered events as ``[time, type, fields]`` rows for :meth:`absorb`."""
+        return [[e.time, e.type, e.fields] for e in self._buffer]
+
+    def absorb(self, rows: List[List[Any]], dropped: int = 0) -> None:
+        """Replay a :meth:`dump` from another log into this one.
+
+        ``dropped`` carries the source log's ring overflow so the merged
+        scope's :attr:`dropped` accounting stays honest.
+        """
+        if not self.enabled:
+            return
+        for time_, etype, fields in rows:
+            self.emit(etype, time_, **fields)
+        self.emitted += dropped
+
+    # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
     def write_jsonl(self, fp: TextIO) -> int:

@@ -218,6 +218,70 @@ class MetricsRegistry:
         return instrument
 
     # ------------------------------------------------------------------
+    # Cross-process merge (see repro.runner: workers dump, the parent absorbs)
+    # ------------------------------------------------------------------
+    def dump(self) -> Dict[str, List[Dict[str, object]]]:
+        """Raw, JSON-serializable instrument state for :meth:`absorb`.
+
+        Unlike :meth:`snapshot` (rendered keys, for humans and artifacts)
+        this keeps names and labels structured so another registry can merge
+        the values losslessly — the transport format worker processes hand
+        back to the parent sweep.
+        """
+        return {
+            "counters": [
+                {"name": k[0], "labels": dict(k[1]), "value": c.value}
+                for k, c in self._counters.items()
+            ],
+            "gauges": [
+                {"name": k[0], "labels": dict(k[1]), "value": g.value}
+                for k, g in self._gauges.items()
+            ],
+            "histograms": [
+                {
+                    "name": k[0],
+                    "labels": dict(k[1]),
+                    "bounds": list(h.bounds),
+                    "bucket_counts": list(h.bucket_counts),
+                    "count": h.count,
+                    "total": h.total,
+                    "max": h.maximum,
+                }
+                for k, h in self._histograms.items()
+            ],
+        }
+
+    def absorb(self, state: Dict[str, List[Dict[str, object]]]) -> None:
+        """Merge a :meth:`dump` from another registry into this one.
+
+        Counters add, gauges take the dumped value (last writer wins) and
+        histograms merge bucket-by-bucket; a histogram whose bounds disagree
+        with an existing instrument of the same key is rejected loudly.
+        """
+        if not self.enabled:
+            return
+        for record in state.get("counters", ()):
+            self.counter(record["name"], **record["labels"]).inc(record["value"])
+        for record in state.get("gauges", ()):
+            self.gauge(record["name"], **record["labels"]).set(record["value"])
+        for record in state.get("histograms", ()):
+            histogram = self.histogram(
+                record["name"], bounds=record["bounds"], **record["labels"]
+            )
+            if list(histogram.bounds) != sorted(record["bounds"]):
+                raise ValueError(
+                    f"histogram {record['name']!r} bounds mismatch: "
+                    f"{histogram.bounds} vs {record['bounds']}"
+                )
+            dumped_counts = record["bucket_counts"]
+            histogram.bucket_counts = [
+                a + b for a, b in zip(histogram.bucket_counts, dumped_counts)
+            ]
+            histogram.count += record["count"]
+            histogram.total += record["total"]
+            histogram.maximum = max(histogram.maximum, record["max"])
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, object]]:

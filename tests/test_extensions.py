@@ -206,7 +206,7 @@ class TestCli:
 
     def test_run_command(self, capsys):
         from repro.cli import main
-        code = main(["run", "ecmp", "--load", "0.3", "--jobs", "3"])
+        code = main(["run", "ecmp", "--load", "0.3", "--jobs-per-client", "3"])
         assert code == 0
         out = capsys.readouterr().out
         assert "avg FCT" in out
@@ -214,15 +214,15 @@ class TestCli:
     def test_sweep_command(self, capsys):
         from repro.cli import main
         code = main([
-            "sweep", "--schemes", "ecmp", "--loads", "0.3", "--jobs", "3",
+            "sweep", "--schemes", "ecmp", "--loads", "0.3", "--jobs-per-client", "3",
         ])
         assert code == 0
         assert "ecmp" in capsys.readouterr().out
 
     def test_sweep_unknown_scheme(self):
         from repro.cli import main
-        assert main(["sweep", "--schemes", "bogus", "--jobs", "3"]) == 2
+        assert main(["sweep", "--schemes", "bogus", "--jobs-per-client", "3"]) == 2
 
     def test_figure_unknown_name(self):
         from repro.cli import main
-        assert main(["figure", "fig99", "--jobs", "3"]) == 2
+        assert main(["figure", "fig99", "--jobs-per-client", "3"]) == 2

@@ -1,0 +1,163 @@
+"""Parallel-path tests for repro.runner: determinism, resume, crash/timeout.
+
+These are the acceptance tests of the runner subsystem: a parallel sweep
+must be bit-identical to the serial one, a second invocation against the
+same cache dir must execute nothing, and worker crashes/timeouts must be
+retried and then surfaced — never hang the batch.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.sweep import series_equal, sweep_loads
+from repro.runner import JobSpec, RunnerConfig, run_jobs
+from repro.telemetry import Telemetry
+
+SCHEMES = ("ecmp", "clove-ecn")
+LOADS = (0.3, 0.5, 0.7)
+SEEDS = (1, 2, 3)
+
+
+def _base() -> ExperimentConfig:
+    return ExperimentConfig(
+        jobs_per_client=4, clients_per_leaf=2, connections_per_client=1
+    )
+
+
+def test_parallel_sweep_matches_serial_bit_for_bit():
+    """2 schemes x 3 loads x 3 seeds: jobs=4 must equal jobs=1 exactly."""
+    serial = sweep_loads(
+        _base(), SCHEMES, LOADS, seeds=SEEDS, runner=RunnerConfig(jobs=1)
+    )
+    parallel = sweep_loads(
+        _base(), SCHEMES, LOADS, seeds=SEEDS, runner=RunnerConfig(jobs=4)
+    )
+    assert series_equal(serial, parallel)
+
+
+def test_second_invocation_runs_nothing(tmp_path, monkeypatch):
+    """With a warm cache every grid point is served without executing."""
+    runner = RunnerConfig(jobs=4, cache_dir=str(tmp_path))
+    first = sweep_loads(_base(), SCHEMES, LOADS[:2], seeds=SEEDS[:2], runner=runner)
+
+    def boom(*args, **kwargs):
+        raise AssertionError("run_experiment must not be called on a warm cache")
+
+    monkeypatch.setattr("repro.harness.experiment.run_experiment", boom)
+    second = sweep_loads(_base(), SCHEMES, LOADS[:2], seeds=SEEDS[:2], runner=runner)
+    assert series_equal(first, second)
+
+
+def test_interrupted_grid_resumes(tmp_path):
+    """A cache holding a prefix of the grid only re-runs the missing points."""
+    runner = RunnerConfig(cache_dir=str(tmp_path))
+    specs = [
+        JobSpec.experiment(
+            ExperimentConfig(
+                scheme=scheme, load=0.3, seed=seed,
+                jobs_per_client=4, clients_per_leaf=2, connections_per_client=1,
+            )
+        )
+        for scheme in SCHEMES
+        for seed in (1, 2)
+    ]
+    run_jobs(specs[:2], runner=runner)  # the "interrupted" first half
+    results = run_jobs(specs, runner=runner)
+    assert [r.cached for r in results] == [True, True, False, False]
+    assert all(r.ok for r in results)
+
+
+def test_parallel_telemetry_merges_into_parent():
+    """Each pooled worker's telemetry dump lands in the parent scope."""
+    telemetry = Telemetry()
+    specs = [
+        JobSpec.experiment(
+            ExperimentConfig(
+                scheme="ecmp", load=0.3, seed=seed,
+                jobs_per_client=4, clients_per_leaf=2, connections_per_client=1,
+            )
+        )
+        for seed in (1, 2, 3)
+    ]
+    results = run_jobs(specs, runner=RunnerConfig(jobs=2), telemetry=telemetry)
+    assert all(r.ok for r in results)
+    assert len(telemetry.manifests) == len(specs)
+    counters = {
+        (c["name"], tuple(sorted(c["labels"].items()))): c["value"]
+        for c in telemetry.registry.dump()["counters"]
+    }
+    assert counters, "worker metric registries must merge into the parent"
+    assert any(value > 0 for value in counters.values())
+    assert len(telemetry.events) > 0
+
+
+def test_worker_crash_is_retried_then_surfaced(monkeypatch):
+    """A hard worker death consumes retries and ends as a terminal error."""
+    def die(*args, **kwargs):
+        os._exit(13)
+
+    # Patch before the pool exists: fork inherits the patched module.
+    monkeypatch.setattr("repro.harness.experiment.run_experiment", die)
+    specs = [JobSpec.experiment(_base()), JobSpec.experiment(
+        ExperimentConfig(jobs_per_client=4, clients_per_leaf=2,
+                         connections_per_client=1, seed=2)
+    )]
+    results = run_jobs(specs, runner=RunnerConfig(jobs=2, retries=1))
+    assert all(not r.ok for r in results)
+    for result in results:
+        assert "crashed" in result.error
+        assert result.attempts == 2  # 1 initial + 1 retry
+
+
+def test_stuck_worker_times_out(monkeypatch):
+    """A worker that never returns is killed at the deadline, not awaited."""
+    def hang(*args, **kwargs):
+        time.sleep(60)
+
+    monkeypatch.setattr("repro.harness.experiment.run_experiment", hang)
+    specs = [JobSpec.experiment(_base()), JobSpec.experiment(
+        ExperimentConfig(jobs_per_client=4, clients_per_leaf=2,
+                         connections_per_client=1, seed=2)
+    )]
+    start = time.monotonic()
+    results = run_jobs(
+        specs, runner=RunnerConfig(jobs=2, timeout=1.0, retries=0)
+    )
+    elapsed = time.monotonic() - start
+    assert elapsed < 30, "timed-out workers must not be awaited to completion"
+    assert all(not r.ok for r in results)
+    for result in results:
+        assert "timed out" in result.error
+        assert result.attempts == 1
+
+
+def test_ordinary_exception_in_worker_not_retried():
+    """Deterministic failures surface once, even on the pooled path."""
+    specs = [
+        JobSpec.experiment(ExperimentConfig(scheme="bogus", seed=seed))
+        for seed in (1, 2)
+    ]
+    results = run_jobs(specs, runner=RunnerConfig(jobs=2, retries=5))
+    assert all(not r.ok for r in results)
+    for result in results:
+        assert "bogus" in result.error
+        assert result.attempts == 1
+
+
+@pytest.mark.parametrize("jobs", [1, 3])
+def test_incast_jobs_run_through_runner(jobs):
+    """Incast specs execute on both paths and produce a goodput payload."""
+    specs = [
+        JobSpec.incast(
+            scheme="ecmp", fanout=2, seed=seed, n_requests=2,
+            total_bytes=100_000,
+        )
+        for seed in (1, 2)
+    ]
+    results = run_jobs(specs, runner=RunnerConfig(jobs=jobs))
+    assert all(r.ok for r in results)
+    for result in results:
+        assert result.metrics["goodput_bps"] > 0

@@ -87,7 +87,7 @@ class TestInstrumentedExperiment:
 class TestCliTelemetry:
     def test_run_telemetry_out_then_inspect(self, tmp_path, capsys):
         out = tmp_path / "run.jsonl"
-        rc = main(["run", "clove-ecn", "--jobs", "6", "--flow-scale", "0.05",
+        rc = main(["run", "clove-ecn", "--jobs-per-client", "6", "--flow-scale", "0.05",
                    "--telemetry-out", str(out)])
         assert rc == 0
         assert out.exists()
@@ -105,7 +105,7 @@ class TestCliTelemetry:
         assert "flowlet.new" in text
 
     def test_run_profile_flag_prints_summary(self, tmp_path, capsys):
-        rc = main(["run", "ecmp", "--jobs", "4", "--flow-scale", "0.05",
+        rc = main(["run", "ecmp", "--jobs-per-client", "4", "--flow-scale", "0.05",
                    "--profile"])
         assert rc == 0
         assert "events/s" in capsys.readouterr().err
