@@ -1,0 +1,102 @@
+"""ChaosEngine overhead benchmark: records wall times to BENCH_chaos.json.
+
+Runs the same experiment point twice — once plain, once with an active
+:class:`~repro.chaos.engine.ChaosEngine` executing a *benign* plan (a
+degrade to factor 1.0 plus its restore: two scheduled injections, zero
+effect on the traffic) — and appends a record to
+``benchmarks/BENCH_chaos.json``::
+
+    {"recorded_unix": ..., "git_rev": "...",
+     "plain_s": 4.1, "chaos_s": 4.2, "overhead_pct": 1.7,
+     "within_target": true}
+
+The benign plan isolates the cost of the engine itself (event scheduling,
+marker recording, recovery-metric computation) from the cost of simulating
+an actually-degraded fabric.  Target: < 5% overhead.  Not a pytest
+benchmark — invoke directly::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py [--repeats 3] [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.chaos import FaultEvent, FaultPlan
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.metrics import standard_metrics
+from repro.telemetry.core import git_revision
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_chaos.json"
+
+#: two injections that change nothing: degrade to full rate, then restore
+BENIGN_PLAN = FaultPlan((
+    FaultEvent(0.025, "degrade", "L2", "S2", factor=1.0),
+    FaultEvent(0.030, "restore", "L2", "S2"),
+))
+
+
+def _config(full: bool, chaos: FaultPlan | None) -> ExperimentConfig:
+    if full:
+        return ExperimentConfig(scheme="clove-ecn", load=0.7,
+                                jobs_per_client=60, chaos=chaos)
+    return ExperimentConfig(scheme="clove-ecn", load=0.5, jobs_per_client=20,
+                            clients_per_leaf=2, connections_per_client=1,
+                            chaos=chaos)
+
+
+def _time_run(full: bool, chaos: FaultPlan | None, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        standard_metrics(run_experiment(_config(full, chaos)))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(repeats: int, full: bool) -> dict:
+    """Time plain vs chaos-carrying runs; return the benchmark record."""
+    plain_s = _time_run(full, None, repeats)
+    chaos_s = _time_run(full, BENIGN_PLAN, repeats)
+    overhead = (chaos_s - plain_s) / plain_s * 100.0 if plain_s else 0.0
+    return {
+        "recorded_unix": time.time(),
+        "git_rev": git_revision(),
+        "repeats": repeats,
+        "full": full,
+        "plain_s": round(plain_s, 3),
+        "chaos_s": round(chaos_s, 3),
+        "overhead_pct": round(overhead, 2),
+        "within_target": overhead < 5.0,
+    }
+
+
+def main() -> int:
+    """CLI entry: run the benchmark and append its record to BENCH_chaos.json."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per variant (best-of wins)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-ish per-point cost instead of CI-sized")
+    args = parser.parse_args()
+
+    record = run(args.repeats, args.full)
+    history = []
+    if RESULTS_PATH.exists():
+        history = json.loads(RESULTS_PATH.read_text())
+    history.append(record)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(json.dumps(record, indent=2))
+    if not record["within_target"]:
+        print(f"WARNING: ChaosEngine overhead {record['overhead_pct']}% "
+              "exceeds the 5% target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

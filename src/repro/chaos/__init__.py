@@ -1,0 +1,66 @@
+"""Declarative fault injection with recovery metrics (``repro.chaos``).
+
+The pieces:
+
+* :mod:`repro.chaos.plan` — :class:`FaultPlan` / :class:`FaultEvent`
+  (typed, JSON-serializable fault schedules), the named :data:`PRESETS`
+  and the seeded :func:`random_plan` storm generator;
+* :mod:`repro.chaos.engine` — :class:`ChaosEngine`, which validates a plan
+  against a built network, applies/schedules its events and records
+  injection markers + ``chaos.inject`` telemetry;
+* :mod:`repro.chaos.metrics` — time-to-recover, fault-window FCT inflation
+  and fault-attributed packet loss, computable both from a live
+  :class:`~repro.harness.experiment.ExperimentResult` and offline from a
+  telemetry JSONL artifact.
+
+Entry points: ``ExperimentConfig(chaos=FaultPlan(...))``, the CLI's
+``--chaos plan.json`` / ``--chaos-preset <name>`` flags, and the
+``repro chaos`` subcommand.
+"""
+
+from repro.chaos.engine import ChaosEngine, windows_from_markers
+from repro.chaos.metrics import (
+    FlowSample,
+    RecoveryReport,
+    compute_recovery,
+    format_report,
+    recovery_from_records,
+    recovery_from_result,
+)
+from repro.chaos.plan import (
+    ACTIONS,
+    PRESETS,
+    FaultEvent,
+    FaultPlan,
+    fault_windows,
+    flap,
+    degraded,
+    iter_presets,
+    multi_failure_plan,
+    preset,
+    random_plan,
+    single_cable,
+)
+
+__all__ = [
+    "ACTIONS",
+    "PRESETS",
+    "ChaosEngine",
+    "FaultEvent",
+    "FaultPlan",
+    "FlowSample",
+    "RecoveryReport",
+    "compute_recovery",
+    "degraded",
+    "fault_windows",
+    "flap",
+    "format_report",
+    "iter_presets",
+    "multi_failure_plan",
+    "preset",
+    "random_plan",
+    "recovery_from_records",
+    "recovery_from_result",
+    "single_cable",
+    "windows_from_markers",
+]

@@ -1,0 +1,183 @@
+"""The :class:`ChaosEngine`: executes a :class:`~repro.chaos.plan.FaultPlan`
+against a live fabric.
+
+The engine validates every targeted cable against the
+:class:`~repro.topology.network.Network` up front (a typo'd cable name
+fails fast with the available cables listed, not mid-run), applies
+already-due events immediately on :meth:`start` (a plan whose first events
+sit at ``t=0`` reproduces the legacy "fail before traffic" setup exactly)
+and schedules the rest on the :class:`~repro.sim.engine.Simulator`.
+
+Each injection is recorded twice:
+
+* a **marker** appended to :attr:`ChaosEngine.markers` — plain dicts
+  carrying the action, cable, timestamp and loss accounting (packets
+  flushed by a ``link_down``, packets blackholed while the cable was
+  down), the in-process source for
+  :mod:`repro.chaos.metrics`;
+* a ``chaos.inject`` telemetry event (plus a ``chaos.injections``
+  counter), so fault windows are recoverable **offline** from any
+  ``--telemetry-out`` artifact.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.chaos.plan import Cable, FaultEvent, FaultPlan, fault_windows
+from repro.net.link import Link
+from repro.sim.engine import Simulator
+from repro.telemetry import NULL_TELEMETRY
+from repro.topology.network import Network
+
+
+class ChaosEngine:
+    """Schedules and applies one fault plan; records injection markers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: Network,
+        plan: FaultPlan,
+        telemetry=None,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.plan = plan
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._events = plan.expanded()
+        for event in self._events:
+            net.cable(event.a, event.b, event.index)  # KeyError on a bad cable
+        #: one dict per applied injection, in application order
+        self.markers: List[Dict[str, object]] = []
+        #: queue-drop counters per down cable at fail time (loss attribution)
+        self._down_baseline: Dict[Cable, int] = {}
+        self.started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Apply already-due events now; schedule the future ones.
+
+        Idempotent.  Events at or before ``sim.now`` (typically ``t=0``
+        pre-traffic faults) apply synchronously so the fabric is already
+        asymmetric when hosts and workloads attach.
+        """
+        if self.started:
+            return
+        self.started = True
+        for event in self._events:
+            if event.time <= self.sim.now:
+                self._apply(event)
+            else:
+                self.sim.at(event.time, self._apply, event)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def _links(self, event: FaultEvent) -> Tuple[Link, Link]:
+        return self.net.cable(event.a, event.b, event.index)
+
+    def _apply(self, event: FaultEvent) -> None:
+        now = self.sim.now
+        marker: Dict[str, object] = {
+            "time": now, "action": event.action,
+            "a": event.a, "b": event.b, "index": event.index,
+        }
+        if event.action == "link_down":
+            fwd, rev = self._links(event)
+            self._down_baseline[event.cable] = (
+                fwd.queue.stats.dropped + rev.queue.stats.dropped
+            )
+            flushed = self.net.fail_cable(event.a, event.b, event.index)
+            # flushed packets were already counted as queue drops; keep the
+            # blackhole baseline net of them so the two counts don't overlap
+            self._down_baseline[event.cable] += flushed
+            marker["flushed"] = flushed
+        elif event.action == "link_up":
+            fwd, rev = self._links(event)
+            baseline = self._down_baseline.pop(event.cable, None)
+            if baseline is not None:
+                marker["blackholed"] = (
+                    fwd.queue.stats.dropped + rev.queue.stats.dropped - baseline
+                )
+            self.net.recover_cable(event.a, event.b, event.index)
+        elif event.action == "degrade":
+            self.net.degrade_cable(event.a, event.b, event.index, event.factor)
+            marker["factor"] = event.factor
+        elif event.action == "restore":
+            self.net.restore_cable(event.a, event.b, event.index)
+        else:  # pragma: no cover - plan validation rejects unknown actions
+            raise ValueError(f"unknown fault action {event.action!r}")
+        self.markers.append(marker)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.counter("chaos.injections", action=event.action).inc()
+            tel.events.emit("chaos.inject", now, **{
+                k: v for k, v in marker.items() if k != "time"
+            })
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def fault_windows(self, end: float = math.inf) -> List[Tuple[float, float]]:
+        """Merged degraded-capacity intervals of the plan (see the plan)."""
+        return self.plan.fault_windows(end=end)
+
+    def flushed_packets(self) -> int:
+        """Packets flushed out of queues by ``link_down`` injections."""
+        return sum(int(m.get("flushed", 0)) for m in self.markers)
+
+    def blackholed_packets(self) -> int:
+        """Packets dropped on cables while the plan held them down."""
+        return sum(int(m.get("blackholed", 0)) for m in self.markers)
+
+    def finish(self, end: Optional[float] = None) -> None:
+        """Close loss accounting for cables still down at the end of a run.
+
+        Appends a synthetic ``chaos.settle`` marker (and telemetry event)
+        per still-down cable carrying its blackholed-packet count, so
+        runs whose plans never recover (e.g. the paper's permanent
+        asymmetry) still attribute their losses.
+        """
+        now = self.sim.now if end is None else end
+        for cable, baseline in list(self._down_baseline.items()):
+            a, b, index = cable
+            fwd, rev = self.net.cable(a, b, index)
+            blackholed = fwd.queue.stats.dropped + rev.queue.stats.dropped - baseline
+            marker: Dict[str, object] = {
+                "time": now, "action": "settle",
+                "a": a, "b": b, "index": index, "blackholed": blackholed,
+            }
+            self.markers.append(marker)
+            if self.telemetry.enabled:
+                self.telemetry.events.emit("chaos.settle", now, **{
+                    k: v for k, v in marker.items() if k != "time"
+                })
+        self._down_baseline.clear()
+
+
+def markers_to_events(markers: List[Dict[str, object]]) -> List[FaultEvent]:
+    """Rebuild primitive fault events from injection markers (or from
+    ``chaos.inject`` records read back out of a telemetry artifact)."""
+    out: List[FaultEvent] = []
+    for marker in markers:
+        action = str(marker.get("action", ""))
+        if action not in ("link_down", "link_up", "degrade", "restore"):
+            continue
+        out.append(FaultEvent(
+            time=float(marker["time"]), action=action,
+            a=str(marker["a"]), b=str(marker["b"]),
+            index=int(marker.get("index", 0)),
+            factor=float(marker.get("factor", 0.25)),
+        ))
+    return out
+
+
+def windows_from_markers(
+    markers: List[Dict[str, object]], end: float = math.inf
+) -> List[Tuple[float, float]]:
+    """Fault windows reconstructed from markers / ``chaos.inject`` records."""
+    return fault_windows(markers_to_events(markers), end=end)

@@ -1,0 +1,355 @@
+"""Robustness metrics over marked fault windows.
+
+Given the flows a run completed and the fault windows its plan carved out,
+this module answers the questions the dynamic-asymmetry regime is about:
+
+* **time-to-recover** — after the last fault clears, how long until
+  goodput is back within 10% of its pre-fault level (FlowDyn's
+  re-convergence metric);
+* **FCT inflation** — mean completion time of flows that lived through a
+  fault window, relative to the pre-fault baseline;
+* **lost packets** — packets flushed out of queues at ``link_down`` plus
+  packets blackholed while a cable was held down, i.e. the losses whose
+  retransmissions are attributable to the faults.
+
+Everything computes from two equivalent sources:
+
+* in-process: :func:`recovery_from_result` over an
+  :class:`~repro.harness.experiment.ExperimentResult` whose run carried a
+  :class:`~repro.chaos.engine.ChaosEngine`;
+* offline: :func:`recovery_from_records` over the raw records of a
+  ``--telemetry-out`` JSONL artifact (``chaos.inject`` markers define the
+  windows, ``flow.completed`` events the goodput/FCT series, and for runs
+  that used the legacy scenario helpers the per-direction ``link.down`` /
+  ``link.up`` events stand in for the markers).
+
+The two paths share one core (:func:`compute_recovery`), so the CLI's
+``repro run --chaos-preset flap`` summary and ``repro chaos report
+run.jsonl`` print the same numbers for the same run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.engine import windows_from_markers
+from repro.chaos.plan import cable_key
+
+_NAN = float("nan")
+
+#: "recovered" means goodput back within this fraction of pre-fault
+RECOVERY_THRESHOLD = 0.9
+
+
+@dataclass(frozen=True)
+class FlowSample:
+    """One completed flow: what recovery metrics need to know about it."""
+
+    size: int
+    arrival: float
+    completion: float
+
+    @property
+    def fct(self) -> float:
+        return self.completion - self.arrival
+
+
+@dataclass
+class RecoveryReport:
+    """The robustness metrics of one faulted run.
+
+    NaN marks a quantity that was not measurable: no pre-fault traffic
+    (faults from ``t=0`` have no baseline), no flows in the fault windows,
+    or goodput that never got back over the threshold before the run ended
+    (``time_to_recover_s``, specifically, is NaN for "never recovered" and
+    ``0.0`` for "never dipped").
+    """
+
+    #: merged degraded-capacity intervals, clamped to the run
+    windows: List[Tuple[float, float]]
+    #: goodput over the pre-fault traffic interval (bits/s)
+    pre_fault_goodput_bps: float
+    #: seconds after the last fault cleared until goodput recovered
+    time_to_recover_s: float
+    #: mean FCT of fault-window flows / mean pre-fault FCT
+    fct_inflation: float
+    #: packets flushed out of egress queues by ``link_down`` injections
+    flushed_packets: int
+    #: packets dropped on cables while a plan held them down
+    blackholed_packets: int
+    #: flows counted into the fault-window / baseline FCT means
+    fault_flows: int = 0
+    baseline_flows: int = 0
+
+    @property
+    def fault_window_s(self) -> float:
+        """Total degraded-capacity time."""
+        return sum(end - start for start, end in self.windows)
+
+    @property
+    def lost_packets(self) -> int:
+        """Flushed + blackholed: the retransmissions the faults forced."""
+        return self.flushed_packets + self.blackholed_packets
+
+    def to_dict(self) -> Dict[str, object]:
+        """The report as one JSON-able dict (windows as [start, end] pairs)."""
+        return {
+            "windows": [list(w) for w in self.windows],
+            "fault_window_s": self.fault_window_s,
+            "pre_fault_goodput_bps": self.pre_fault_goodput_bps,
+            "time_to_recover_s": self.time_to_recover_s,
+            "fct_inflation": self.fct_inflation,
+            "flushed_packets": self.flushed_packets,
+            "blackholed_packets": self.blackholed_packets,
+            "lost_packets": self.lost_packets,
+            "fault_flows": self.fault_flows,
+            "baseline_flows": self.baseline_flows,
+        }
+
+
+def _goodput_bps(flows: Sequence[FlowSample], start: float, end: float) -> float:
+    """Bits per second completed inside [start, end)."""
+    if end <= start:
+        return 0.0
+    done = sum(f.size for f in flows if start <= f.completion < end)
+    return done * 8.0 / (end - start)
+
+
+def compute_recovery(
+    flows: Sequence[FlowSample],
+    windows: Sequence[Tuple[float, float]],
+    end_time: float,
+    flushed_packets: int = 0,
+    blackholed_packets: int = 0,
+    threshold: float = RECOVERY_THRESHOLD,
+    bin_width: Optional[float] = None,
+) -> RecoveryReport:
+    """The shared metric core; see the module docstring for definitions.
+
+    ``bin_width`` is the goodput-averaging granularity for the recovery
+    scan (default: half the faulted span, floored at 1 ms).  Time-to-
+    recover is quantized to it: the reported value is the end of the first
+    post-fault bin whose goodput clears ``threshold`` x pre-fault.
+    """
+    clamped = [
+        (start, min(end, end_time))
+        for start, end in windows
+        if start < end_time
+    ]
+    if not clamped:
+        return RecoveryReport([], _NAN, _NAN, _NAN,
+                              flushed_packets, blackholed_packets)
+    fault_start = clamped[0][0]
+    fault_end = clamped[-1][1]
+
+    # Pre-fault baseline: the interval from first traffic to the first fault.
+    baseline_start = min((f.arrival for f in flows), default=0.0)
+    baseline = [f for f in flows if f.completion < fault_start]
+    pre_goodput = (
+        _goodput_bps(flows, baseline_start, fault_start)
+        if fault_start > baseline_start else _NAN
+    )
+
+    # FCT inflation: flows whose lifetime overlaps any fault window.
+    faulted = [
+        f for f in flows
+        if any(f.arrival < end and f.completion > start for start, end in clamped)
+    ]
+    if baseline and faulted:
+        base_mean = sum(f.fct for f in baseline) / len(baseline)
+        fault_mean = sum(f.fct for f in faulted) / len(faulted)
+        inflation = fault_mean / base_mean if base_mean > 0 else _NAN
+    else:
+        inflation = _NAN
+
+    ttr = _time_to_recover(
+        flows, clamped, pre_goodput, fault_end, end_time, threshold, bin_width
+    )
+    return RecoveryReport(
+        windows=clamped,
+        pre_fault_goodput_bps=pre_goodput,
+        time_to_recover_s=ttr,
+        fct_inflation=inflation,
+        flushed_packets=flushed_packets,
+        blackholed_packets=blackholed_packets,
+        fault_flows=len(faulted),
+        baseline_flows=len(baseline),
+    )
+
+
+def _time_to_recover(
+    flows: Sequence[FlowSample],
+    windows: Sequence[Tuple[float, float]],
+    pre_goodput: float,
+    fault_end: float,
+    end_time: float,
+    threshold: float,
+    bin_width: Optional[float],
+) -> float:
+    if not (pre_goodput > 0):  # also False for NaN: no baseline, no answer
+        return _NAN
+    floor = threshold * pre_goodput
+    # Never dipped below the threshold — during faults or after — means
+    # the scheme rode the faults out: recovery time zero.
+    dipped = any(
+        _goodput_bps(flows, start, end) < floor for start, end in windows
+    )
+    if bin_width is None:
+        span = fault_end - windows[0][0]
+        bin_width = max(span / 2.0, 1e-3)
+    if not dipped:
+        return 0.0
+    t = fault_end
+    while t + bin_width <= end_time:
+        if _goodput_bps(flows, t, t + bin_width) >= floor:
+            return t + bin_width - fault_end
+        t += bin_width
+    return _NAN  # never got back over the line before the run ended
+
+
+# ----------------------------------------------------------------------
+# In-process source: an ExperimentResult carrying a ChaosEngine
+# ----------------------------------------------------------------------
+def flows_from_collector(collector) -> List[FlowSample]:
+    """Completed jobs of a :class:`~repro.metrics.collector.MetricsCollector`
+    as flow samples."""
+    return [
+        FlowSample(job.size, job.arrival, job.completion)
+        for job in collector.jobs
+        if job.completion is not None
+    ]
+
+
+def recovery_from_result(result, **kwargs) -> Optional[RecoveryReport]:
+    """Recovery metrics of a run, or None when it carried no chaos engine."""
+    engine = getattr(result, "chaos", None)
+    if engine is None:
+        return None
+    return compute_recovery(
+        flows_from_collector(result.collector),
+        engine.fault_windows(end=result.sim_duration),
+        end_time=result.sim_duration,
+        flushed_packets=engine.flushed_packets(),
+        blackholed_packets=engine.blackholed_packets(),
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Offline source: the raw records of a telemetry JSONL artifact
+# ----------------------------------------------------------------------
+def _parse_link_name(name: str) -> Optional[Tuple[str, str, int]]:
+    """``"L2->S2#0"`` -> ("L2", "S2", 0); None when it doesn't parse."""
+    try:
+        ends, _, index = name.partition("#")
+        a, _, b = ends.partition("->")
+        if not (a and b and index):
+            return None
+        return a, b, int(index)
+    except (ValueError, AttributeError):
+        return None
+
+
+def _markers_from_records(records: Sequence[Dict]) -> List[Dict[str, object]]:
+    """``chaos.inject`` records as markers; legacy ``link.down``/``link.up``
+    events (one per direction) fall back in when no engine ran."""
+    inject = [r for r in records if r.get("type") == "chaos.inject"]
+    if inject:
+        return inject
+    markers: List[Dict[str, object]] = []
+    seen: set = set()
+    for record in records:
+        rtype = record.get("type")
+        if rtype not in ("link.down", "link.up"):
+            continue
+        parsed = _parse_link_name(str(record.get("link", "")))
+        if parsed is None:
+            continue
+        a, b, index = parsed
+        # both directions of a cable emit; keep one marker per (cable, time)
+        key = (cable_key(a, b, index), rtype, record.get("time"))
+        if key in seen:
+            continue
+        seen.add(key)
+        markers.append({
+            "time": record.get("time", 0.0),
+            "action": "link_down" if rtype == "link.down" else "link_up",
+            "a": a, "b": b, "index": index,
+            "flushed": record.get("flushed", 0),
+        })
+    return markers
+
+
+def recovery_from_records(
+    records: Sequence[Dict], end_time: Optional[float] = None, **kwargs
+) -> Optional[RecoveryReport]:
+    """Recompute a run's recovery metrics from raw telemetry records.
+
+    ``records`` are the dicts of :func:`repro.telemetry.events.read_jsonl`
+    (any record kind; non-events are ignored except manifests, whose
+    ``sim_duration`` supplies ``end_time`` when not given).  Returns None
+    when the artifact holds no fault markers at all.
+    """
+    markers = _markers_from_records(records)
+    if not markers:
+        return None
+    flows = [
+        FlowSample(
+            size=int(r.get("size", 0)),
+            arrival=float(r.get("arrival", 0.0)),
+            completion=float(r.get("time", 0.0)),
+        )
+        for r in records
+        if r.get("type") == "flow.completed"
+    ]
+    if end_time is None:
+        durations = [
+            float(r["sim_duration"]) for r in records
+            if r.get("kind") == "manifest" and r.get("sim_duration") is not None
+        ]
+        times = [float(m.get("time", 0.0)) for m in markers]
+        times.extend(f.completion for f in flows)
+        end_time = max(durations) if durations else (max(times) if times else 0.0)
+    flushed = sum(int(m.get("flushed", 0)) for m in markers)
+    blackholed = sum(
+        int(r.get("blackholed", 0)) for r in records
+        if r.get("type") in ("chaos.inject", "chaos.settle")
+    )
+    return compute_recovery(
+        flows,
+        windows_from_markers(markers, end=end_time),
+        end_time=end_time,
+        flushed_packets=flushed,
+        blackholed_packets=blackholed,
+        **kwargs,
+    )
+
+
+def format_report(report: RecoveryReport) -> str:
+    """The report as the text block ``repro run`` / ``repro chaos report``
+    print."""
+    def fmt_ttr(value: float) -> str:
+        if math.isnan(value):
+            return "never recovered (or no pre-fault baseline)"
+        if value == 0.0:
+            return "0 (goodput never dipped below threshold)"
+        return f"{value * 1000:.3f} ms"
+
+    lines = [
+        f"fault windows     : {len(report.windows)} "
+        f"({report.fault_window_s * 1000:.3f} ms degraded)",
+        f"pre-fault goodput : "
+        + (f"{report.pre_fault_goodput_bps / 1e9:.3f} Gbps"
+           if not math.isnan(report.pre_fault_goodput_bps) else "n/a"),
+        f"time-to-recover   : {fmt_ttr(report.time_to_recover_s)}",
+        f"fault FCT inflation: "
+        + (f"{report.fct_inflation:.2f}x "
+           f"({report.fault_flows} faulted vs {report.baseline_flows} baseline flows)"
+           if not math.isnan(report.fct_inflation) else "n/a"),
+        f"lost packets      : {report.lost_packets} "
+        f"({report.flushed_packets} flushed, "
+        f"{report.blackholed_packets} blackholed)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,400 @@
+"""Declarative fault plans: typed, serializable topology-fault schedules.
+
+The paper's evaluation (Section 5.2) hinges on topology asymmetry, but a
+single hard-coded cable failure covers only one corner of the regime that
+discriminates congestion-aware load balancers: dynamic faults — flapping
+cables, degraded ports, multi-failure storms — and how quickly each scheme
+*re-converges* after the topology changes back.
+
+A :class:`FaultPlan` is an ordered tuple of :class:`FaultEvent` records
+with **absolute** injection times (simulated seconds).  Plans are plain
+frozen dataclasses, so they
+
+* round-trip through JSON (:meth:`FaultPlan.to_json` /
+  :meth:`FaultPlan.from_json`) for the CLI's ``--chaos plan.json``;
+* canonicalize deterministically inside the runner's content fingerprint
+  (changing any event changes the cache key);
+* compose with ``+`` (events merge into one time-ordered plan).
+
+:class:`~repro.chaos.engine.ChaosEngine` executes a plan against a live
+:class:`~repro.topology.network.Network`; :data:`PRESETS` names the
+ready-made plans the CLI exposes as ``--chaos-preset <name>``; and
+:func:`random_plan` samples seeded failure storms that always leave every
+touched node at least one live cable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+#: every fault action a plan may contain
+ACTIONS = ("link_down", "link_up", "degrade", "restore", "flap")
+
+#: a cable identity: (endpoint, endpoint, parallel index)
+Cable = Tuple[str, str, int]
+
+
+def cable_key(a: str, b: str, index: int) -> Cable:
+    """Direction-insensitive cable identity (cables are duplex)."""
+    lo, hi = sorted((a, b))
+    return (lo, hi, index)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One typed injection at an absolute simulated time.
+
+    ``factor`` applies to ``degrade`` only; ``period``/``downtime``/``count``
+    to ``flap`` only (a flap is sugar for ``count`` down/up cycles and
+    expands to primitive events via :meth:`expand`).
+    """
+
+    time: float
+    action: str
+    a: str
+    b: str
+    index: int = 0
+    factor: float = 0.25
+    period: float = 0.0
+    downtime: float = 0.0
+    count: int = 0
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on an ill-formed event."""
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r} (expected one of {ACTIONS})"
+            )
+        if not (isinstance(self.time, (int, float)) and self.time >= 0.0):
+            raise ValueError(f"fault time must be >= 0, got {self.time!r}")
+        if self.index < 0:
+            raise ValueError(f"cable index must be >= 0, got {self.index}")
+        if not self.a or not self.b or self.a == self.b:
+            raise ValueError(f"fault needs two distinct endpoints, got "
+                             f"({self.a!r}, {self.b!r})")
+        if self.action == "degrade" and not 0.0 < self.factor <= 1.0:
+            raise ValueError(f"degrade factor must be in (0, 1], got {self.factor}")
+        if self.action == "flap":
+            if self.count < 1:
+                raise ValueError(f"flap count must be >= 1, got {self.count}")
+            if not 0.0 < self.downtime < self.period:
+                raise ValueError(
+                    f"flap needs 0 < downtime < period, got "
+                    f"downtime={self.downtime} period={self.period}"
+                )
+
+    @property
+    def cable(self) -> Cable:
+        """The (direction-insensitive) cable this event targets."""
+        return cable_key(self.a, self.b, self.index)
+
+    def expand(self) -> List["FaultEvent"]:
+        """Primitive (non-flap) events this event stands for, time-ordered."""
+        if self.action != "flap":
+            return [self]
+        out: List[FaultEvent] = []
+        for k in range(self.count):
+            t_down = self.time + k * self.period
+            out.append(replace(self, time=t_down, action="link_down",
+                               period=0.0, downtime=0.0, count=0))
+            out.append(replace(self, time=t_down + self.downtime, action="link_up",
+                               period=0.0, downtime=0.0, count=0))
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """Compact JSON-able form (irrelevant per-action fields omitted)."""
+        out: Dict[str, object] = {
+            "time": self.time, "action": self.action,
+            "a": self.a, "b": self.b, "index": self.index,
+        }
+        if self.action == "degrade":
+            out["factor"] = self.factor
+        if self.action == "flap":
+            out.update(period=self.period, downtime=self.downtime, count=self.count)
+        return out
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`; validates the event."""
+        known = {f for f in FaultEvent.__dataclass_fields__}
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown fault event field(s) {sorted(extra)}")
+        try:
+            event = FaultEvent(**data)  # type: ignore[arg-type]
+        except TypeError as exc:
+            raise ValueError(f"malformed fault event {data!r}: {exc}") from None
+        event.validate()
+        return event
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, validated schedule of fault events.
+
+    Construction sorts events by time (stable, so same-instant events keep
+    their authored order — that order is their application order).
+    """
+
+    events: Tuple[FaultEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        events = tuple(sorted(self.events, key=lambda e: e.time))
+        for event in events:
+            event.validate()
+        object.__setattr__(self, "events", events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        return FaultPlan(self.events + other.events)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def expanded(self) -> List[FaultEvent]:
+        """All events with flaps unrolled into down/up pairs, time-ordered."""
+        out = [prim for event in self.events for prim in event.expand()]
+        out.sort(key=lambda e: e.time)
+        return out
+
+    def cables(self) -> List[Cable]:
+        """The distinct cables the plan touches, sorted."""
+        return sorted({event.cable for event in self.events})
+
+    def end_time(self) -> float:
+        """Time of the last primitive injection (0.0 for an empty plan)."""
+        expanded = self.expanded()
+        return expanded[-1].time if expanded else 0.0
+
+    def fault_windows(self, end: float = math.inf) -> List[Tuple[float, float]]:
+        """Merged intervals during which any cable is down or degraded.
+
+        A fault left open at the end of the plan closes at ``end``.
+        """
+        return fault_windows(self.expanded(), end=end)
+
+    def describe(self) -> str:
+        """One-line human summary for labels and cache listings."""
+        if not self.events:
+            return "empty"
+        cables = ",".join(f"{a}-{b}#{i}" for a, b, i in self.cables())
+        expanded = self.expanded()
+        return (f"{len(expanded)} injections on {cables} "
+                f"t=[{expanded[0].time:g}, {expanded[-1].time:g}]")
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form: ``{"events": [...]}``."""
+        return {"events": [event.to_dict() for event in self.events]}
+
+    def to_json(self, indent: int = 2) -> str:
+        """The plan as the JSON document ``--chaos plan.json`` accepts."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_dict(data: Dict[str, object]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; validates every event."""
+        if not isinstance(data, dict) or "events" not in data:
+            raise ValueError('a fault plan is {"events": [...]}')
+        events = data["events"]
+        if not isinstance(events, list):
+            raise ValueError('"events" must be a list of fault events')
+        return FaultPlan(tuple(FaultEvent.from_dict(e) for e in events))
+
+    @staticmethod
+    def from_json(text: str) -> "FaultPlan":
+        """Parse a plan from JSON text (``ValueError`` on malformed input)."""
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ValueError(f"fault plan is not valid JSON: {exc}") from None
+        return FaultPlan.from_dict(data)
+
+
+def fault_windows(
+    events: Sequence[FaultEvent], end: float = math.inf
+) -> List[Tuple[float, float]]:
+    """Merged (start, end) intervals where any cable is down or degraded.
+
+    ``events`` must be primitive (no flaps); ``degrade`` with factor 1.0 is
+    not a fault.  An interval left open closes at ``end``.
+    """
+    opened: Dict[Cable, float] = {}
+    raw: List[List[float]] = []
+    for event in sorted(events, key=lambda e: e.time):
+        cable = event.cable
+        if event.action == "link_down" or (
+            event.action == "degrade" and event.factor < 1.0
+        ):
+            opened.setdefault(cable, event.time)
+        elif event.action in ("link_up", "restore"):
+            start = opened.pop(cable, None)
+            if start is not None:
+                raw.append([start, event.time])
+    for start in opened.values():
+        raw.append([start, end])
+    raw.sort()
+    merged: List[List[float]] = []
+    for start, stop in raw:
+        if merged and start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], stop)
+        else:
+            merged.append([start, stop])
+    return [(start, stop) for start, stop in merged]
+
+
+# ----------------------------------------------------------------------
+# Preset plans (defaults target the scaled-down default leaf-spine fabric:
+# leaves L1/L2, spines S1/S2, two cables per pair, traffic from t=0.02)
+# ----------------------------------------------------------------------
+def single_cable(a: str = "L2", b: str = "S2", index: int = 0,
+                 time: float = 0.0) -> FaultPlan:
+    """The paper's Section 5.2 asymmetry: one spine-leaf cable down."""
+    return FaultPlan((FaultEvent(time, "link_down", a, b, index),))
+
+
+def degraded(a: str = "L2", b: str = "S2", index: int = 0,
+             factor: float = 0.25, time: float = 0.0,
+             duration: float = 0.0) -> FaultPlan:
+    """One cable at ``factor`` of nominal rate (heterogeneous-equipment
+    asymmetry); restored after ``duration`` seconds when given."""
+    events = [FaultEvent(time, "degrade", a, b, index, factor=factor)]
+    if duration > 0.0:
+        events.append(FaultEvent(time + duration, "restore", a, b, index))
+    return FaultPlan(tuple(events))
+
+
+def flap(a: str = "L2", b: str = "S2", index: int = 0, start: float = 0.03,
+         period: float = 0.012, downtime: float = 0.005,
+         flaps: int = 2) -> FaultPlan:
+    """A cable that repeatedly fails and recovers (FlowDyn's re-convergence
+    regime); defaults give two 5 ms outages inside a default-length run."""
+    return FaultPlan((FaultEvent(start, "flap", a, b, index,
+                                 period=period, downtime=downtime, count=flaps),))
+
+
+def multi_failure_plan(
+    cables: Sequence[Cable] = (("L2", "S1", 0), ("L2", "S2", 0)),
+    time: float = 0.0, duration: float = 0.0,
+) -> FaultPlan:
+    """Several cables down at once (one per spine by default, so every
+    leaf keeps a live path per spine); recovered after ``duration`` when
+    given."""
+    events = [FaultEvent(time, "link_down", a, b, i) for a, b, i in cables]
+    if duration > 0.0:
+        events.extend(
+            FaultEvent(time + duration, "link_up", a, b, i) for a, b, i in cables
+        )
+    return FaultPlan(tuple(events))
+
+
+def random_plan(
+    seed: int,
+    cables: Sequence[Cable] = (
+        ("L1", "S1", 0), ("L1", "S1", 1), ("L1", "S2", 0), ("L1", "S2", 1),
+        ("L2", "S1", 0), ("L2", "S1", 1), ("L2", "S2", 0), ("L2", "S2", 1),
+    ),
+    n_faults: int = 6,
+    start: float = 0.025,
+    horizon: float = 0.06,
+    mean_downtime: float = 0.004,
+    degrade_fraction: float = 0.3,
+    min_live_per_node: int = 1,
+) -> FaultPlan:
+    """A seeded failure storm: ``n_faults`` sampled down/degrade intervals.
+
+    The sampler never lets the concurrently-faulted cables leave any node
+    of the given cable set with fewer than ``min_live_per_node`` live
+    cables, so a storm cannot partition a leaf from the fabric (the CAFT
+    multi-failure regime, minus the uninteresting total-blackout case).
+    Identical arguments always produce an identical plan.
+    """
+    if n_faults < 1:
+        raise ValueError("need at least one fault")
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    rng = random.Random(seed)
+    per_node: Dict[str, int] = {}
+    for a, b, _i in cables:
+        per_node[a] = per_node.get(a, 0) + 1
+        per_node[b] = per_node.get(b, 0) + 1
+    events: List[FaultEvent] = []
+    # (end_time, cable) of intervals currently open, in start order
+    active: List[Tuple[float, Cable]] = []
+    time = start
+    for _ in range(n_faults):
+        time += rng.expovariate(n_faults / horizon)
+        active = [entry for entry in active if entry[0] > time]
+        down_nodes = _down_per_node(active)
+        candidates = [
+            cable for cable in cables
+            if not any(c == cable_key(*cable) for _t, c in active)
+            and all(
+                per_node[node] - down_nodes.get(node, 0) > min_live_per_node
+                for node in cable[:2]
+            )
+        ]
+        if not candidates:
+            continue
+        a, b, index = candidates[rng.randrange(len(candidates))]
+        downtime = max(mean_downtime * 0.25, rng.expovariate(1.0 / mean_downtime))
+        if rng.random() < degrade_fraction:
+            factor = rng.uniform(0.1, 0.5)
+            events.append(FaultEvent(time, "degrade", a, b, index, factor=factor))
+            events.append(FaultEvent(time + downtime, "restore", a, b, index))
+        else:
+            events.append(FaultEvent(time, "link_down", a, b, index))
+            events.append(FaultEvent(time + downtime, "link_up", a, b, index))
+        active.append((time + downtime, cable_key(a, b, index)))
+    return FaultPlan(tuple(events))
+
+
+def _down_per_node(active: Sequence[Tuple[float, Cable]]) -> Dict[str, int]:
+    """How many of each node's cables are faulted right now."""
+    down: Dict[str, int] = {}
+    for _end, (a, b, _i) in active:
+        down[a] = down.get(a, 0) + 1
+        down[b] = down.get(b, 0) + 1
+    return down
+
+
+#: name -> (zero-argument plan factory, one-line description); the CLI's
+#: ``--chaos-preset`` choices and the ``repro chaos presets`` listing
+PRESETS: Dict[str, Tuple[Callable[[], FaultPlan], str]] = {
+    "single-cable": (single_cable,
+                     "the paper's asymmetry: one L2-S2 cable down from t=0"),
+    "degrade": (degraded,
+                "one L2-S2 cable at 25% of nominal rate from t=0"),
+    "flap": (flap,
+             "two 5ms outages of one L2-S2 cable starting at t=0.03"),
+    "multi-failure": (multi_failure_plan,
+                      "one cable to each spine down from t=0 (>=1 path left)"),
+    "storm": (lambda: random_plan(seed=1),
+              "seeded random storm of down/degrade intervals (seed=1)"),
+}
+
+
+def preset(name: str) -> FaultPlan:
+    """Resolve a preset name to its plan; raises ``KeyError`` with the
+    available names on a miss."""
+    try:
+        factory, _desc = PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown chaos preset {name!r} (available: {', '.join(PRESETS)})"
+        ) from None
+    return factory()
+
+
+def iter_presets() -> Iterable[Tuple[str, str]]:
+    """(name, description) pairs in listing order."""
+    for name, (_factory, desc) in PRESETS.items():
+        yield name, desc

@@ -8,7 +8,14 @@ Subcommands:
 * ``incast``    — the Figure 7 fan-in experiment;
 * ``schemes``   — list the available load-balancing schemes;
 * ``telemetry`` — inspect a ``--telemetry-out`` JSONL artifact;
-* ``cache``     — list or clear a ``--cache-dir`` result cache.
+* ``cache``     — list or clear a ``--cache-dir`` result cache;
+* ``chaos``     — list/show fault-plan presets, or recompute recovery
+  metrics offline from a telemetry artifact.
+
+``run``, ``sweep`` and ``figure`` accept ``--chaos FILE`` (a serialized
+:class:`~repro.chaos.plan.FaultPlan`) or ``--chaos-preset NAME`` to inject
+faults mid-run; ``run`` then also reports time-to-recover and fault-window
+FCT inflation (:mod:`repro.chaos.metrics`).
 
 ``run``, ``sweep`` and ``incast`` take ``-j/--jobs`` (parallel worker
 processes) and ``--cache-dir`` (resumable result cache) — the
@@ -18,9 +25,11 @@ processes) and ``--cache-dir`` (resumable result cache) — the
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from typing import List, Optional
 
+from repro.chaos import FaultPlan, iter_presets, preset
 from repro.harness.experiment import ExperimentConfig, SCHEMES
 from repro.harness.report import render_bar_chart, render_cdf, render_table
 from repro.harness.sweep import sweep_loads
@@ -97,6 +106,36 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="fail one S2-L2 cable (the paper's scenario)")
     parser.add_argument("--flow-scale", type=float, default=0.1,
                         help="flow-size scale vs the paper's web-search CDF")
+    chaos = parser.add_mutually_exclusive_group()
+    chaos.add_argument("--chaos", metavar="FILE", default=None,
+                       help="inject the FaultPlan serialized in FILE (JSON); "
+                            "see `repro chaos presets` for starting points")
+    chaos.add_argument("--chaos-preset", metavar="NAME", default=None,
+                       help="inject a named built-in fault plan "
+                            "(`repro chaos presets` lists them)")
+
+
+def _chaos_plan(args) -> Optional[FaultPlan]:
+    """The fault plan the chaos flags describe (or None).
+
+    Exits 2 on an unreadable/invalid plan file or unknown preset name —
+    before any simulation time is spent.
+    """
+    if getattr(args, "chaos", None) is not None:
+        try:
+            with open(args.chaos, "r", encoding="utf-8") as fh:
+                return FaultPlan.from_json(fh.read())
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            print(f"cannot load fault plan {args.chaos!r}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    if getattr(args, "chaos_preset", None) is not None:
+        try:
+            return preset(args.chaos_preset)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            raise SystemExit(2)
+    return None
 
 
 def _config(args, scheme: Optional[str] = None) -> ExperimentConfig:
@@ -107,6 +146,7 @@ def _config(args, scheme: Optional[str] = None) -> ExperimentConfig:
         jobs_per_client=args.jobs_per_client,
         asymmetric=args.asymmetric,
         flow_scale=args.flow_scale,
+        chaos=_chaos_plan(args),
     )
 
 
@@ -137,7 +177,28 @@ def cmd_run(args) -> int:
           f"{m['p95_fct']*1000:.3f} / {m['p99_fct']*1000:.3f} ms")
     print(f"sim duration : {m['sim_duration']:.3f} s"
           f" ({m['wall_events']:.0f} events)")
+    if args.chaos is not None or args.chaos_preset is not None:
+        _print_chaos_metrics(m)
     return 0
+
+
+def _fmt_chaos(value: float, unit: str = "", scale: float = 1.0,
+               digits: int = 3) -> str:
+    """One chaos metric, NaN rendered as n/a (no baseline / never recovered)."""
+    if math.isnan(value):
+        return "n/a"
+    return f"{value * scale:.{digits}f}{unit}"
+
+
+def _print_chaos_metrics(m) -> None:
+    """The fault-recovery lines of ``repro run`` under --chaos[-preset]."""
+    print(f"fault window : {_fmt_chaos(m['chaos_fault_window_s'], ' ms', 1e3)}")
+    print(f"time-to-recover : "
+          f"{_fmt_chaos(m['chaos_time_to_recover'], ' ms', 1e3)}")
+    print(f"fault FCT inflation : "
+          f"{_fmt_chaos(m['chaos_fct_inflation'], 'x', digits=2)}")
+    print(f"lost packets : {m['chaos_lost_packets']:.0f}"
+          f" ({m['chaos_flushed_packets']:.0f} flushed)")
 
 
 def cmd_sweep(args) -> int:
@@ -170,6 +231,7 @@ def cmd_figure(args) -> int:
         loads=tuple(float(x) for x in args.loads.split(",")),
         seeds=tuple(args.seed + i for i in range(args.n_seeds)),
         jobs_per_client=args.jobs_per_client,
+        chaos=_chaos_plan(args),
     )
     runner = _make_runner(args)
     name = args.name
@@ -188,7 +250,8 @@ def cmd_figure(args) -> int:
         print(render_table(figures.fig8b(quality, runner=runner)))
     elif name == "fig9":
         cdfs = figures.fig9(load=args.load, seed=args.seed,
-                            jobs_per_client=args.jobs_per_client)
+                            jobs_per_client=args.jobs_per_client,
+                            chaos=quality.chaos)
         print(render_cdf(cdfs))
     else:
         print(f"unknown figure {name!r}", file=sys.stderr)
@@ -234,6 +297,38 @@ def cmd_telemetry(args) -> int:
         print(f"cannot read {args.file!r}: {exc}", file=sys.stderr)
         return 1
     print(render_dump(dump, top=args.top, sample=args.sample))
+    return 0
+
+
+def cmd_chaos(args) -> int:
+    """Handle ``repro chaos``: presets, plan dumps, offline reports."""
+    from repro.chaos.metrics import format_report, recovery_from_records
+
+    if args.chaos_command == "presets":
+        for name, description in iter_presets():
+            print(f"{name:<14} {description}")
+        return 0
+    if args.chaos_command == "show":
+        try:
+            plan = preset(args.name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(plan.to_json(indent=2))
+        return 0
+    # report: recompute recovery metrics from a telemetry JSONL artifact.
+    try:
+        dump = load_jsonl(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.file!r}: {exc}", file=sys.stderr)
+        return 1
+    report = recovery_from_records(dump["events"] + dump["manifests"])
+    if report is None:
+        print(f"{args.file}: no chaos events found (was the run injected "
+              "with --chaos/--chaos-preset and --telemetry-out?)",
+              file=sys.stderr)
+        return 1
+    print(format_report(report))
     return 0
 
 
@@ -314,6 +409,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_tel.add_argument("--sample", type=int, default=8,
                        help="sample events to print per section")
     p_tel.set_defaults(fn=cmd_telemetry)
+
+    p_chaos = sub.add_parser("chaos", help="fault-plan presets and reports")
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+    p_presets = chaos_sub.add_parser("presets",
+                                     help="list built-in fault plans")
+    p_presets.set_defaults(fn=cmd_chaos)
+    p_show = chaos_sub.add_parser("show",
+                                  help="print a preset's plan as JSON "
+                                       "(editable starting point for --chaos)")
+    p_show.add_argument("name", help="preset name (see `chaos presets`)")
+    p_show.set_defaults(fn=cmd_chaos)
+    p_report = chaos_sub.add_parser(
+        "report", help="recompute recovery metrics offline from a "
+                       "--telemetry-out artifact")
+    p_report.add_argument("file", help="JSONL file written by --telemetry-out")
+    p_report.set_defaults(fn=cmd_chaos)
 
     p_cache = sub.add_parser("cache", help="inspect or clear a result cache")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)

@@ -27,6 +27,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.conga import CongaLeafSwitch, CongaSpineSwitch, configure_conga
 from repro.baselines.ecmp import EcmpPolicy
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.plan import FaultPlan, single_cable
 from repro.baselines.letflow import LetFlowSwitch
 from repro.baselines.presto import PrestoPolicy
 from repro.core.clove import CloveEcnPolicy, CloveIntPolicy, CloveParams, EdgeFlowletPolicy
@@ -95,6 +97,18 @@ class ExperimentConfig:
     warmup: float = 0.02              # seconds before traffic starts
     max_sim_time: float = 60.0        # hard stop (simulated seconds)
     discovery: Optional[DiscoveryConfig] = None
+    #: declarative fault schedule executed by a ChaosEngine; ``asymmetric``
+    #: above is sugar for the single-cable plan and composes with this
+    chaos: Optional[FaultPlan] = None
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The effective fault plan: ``chaos`` merged with the
+        ``asymmetric`` sugar (one L2-S2 cable down from t=0)."""
+        plan = self.chaos
+        if self.asymmetric:
+            asym = single_cable()
+            plan = asym if plan is None else plan + asym
+        return plan if plan else None
 
 
 def default_topology() -> LeafSpineConfig:
@@ -151,6 +165,9 @@ class ExperimentResult:
     telemetry: Optional[Telemetry] = None
     #: this run's manifest inside the telemetry scope (None when disabled)
     manifest: Optional[Dict[str, object]] = None
+    #: the chaos engine that executed the run's fault plan (None when the
+    #: run was fault-free); its markers feed repro.chaos.metrics
+    chaos: Optional[ChaosEngine] = None
 
     @property
     def avg_fct(self) -> float:
@@ -281,9 +298,18 @@ def run_experiment(
         for switch in net.switches.values():
             switch.flowlet_gap = params.flowlet_gap
 
-    if config.asymmetric:
-        # The paper's failure: one 40G cable between spine S2 and leaf L2.
-        net.fail_cable("L2", "S2", index=0)
+    # ------------------------------------------------------------------
+    # Fault injection: the effective plan (config.chaos + the asymmetric
+    # sugar) runs through a ChaosEngine.  Events due at t=0 — the paper's
+    # failure of one 40G S2-L2 cable — apply right here, before hosts and
+    # discovery attach, exactly as the old hard-coded path did; later
+    # events are scheduled on the simulator.
+    # ------------------------------------------------------------------
+    plan = config.fault_plan()
+    chaos_engine: Optional[ChaosEngine] = None
+    if plan is not None:
+        chaos_engine = ChaosEngine(sim, net, plan, telemetry=tel)
+        chaos_engine.start()
 
     # ------------------------------------------------------------------
     # Hosts, policies, discovery
@@ -418,10 +444,20 @@ def run_experiment(
         if sim.events_processed > event_budget:
             break
 
+    if chaos_engine is not None:
+        chaos_engine.finish()
+
     if tel.enabled:
         tel.observe_network(net)
         tel.observe_hosts(hosts)
         tel.observe_collector(collector)
+        if chaos_engine is not None:
+            # Per-flow completions make the run's recovery metrics
+            # recomputable offline from the event log alone.
+            for job in collector.jobs:
+                if job.completion is not None:
+                    tel.events.emit("flow.completed", job.completion,
+                                    size=job.size, arrival=job.arrival)
         if manifest is not None:
             manifest["wall_s"] = time.perf_counter() - wall_start
             manifest["sim_duration"] = sim.now
@@ -436,4 +472,5 @@ def run_experiment(
         hosts=hosts,
         telemetry=tel if tel.enabled else None,
         manifest=manifest,
+        chaos=chaos_engine,
     )

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos.plan import FaultPlan
 from repro.harness.experiment import (
     ExperimentConfig,
     ExperimentResult,
@@ -62,9 +63,13 @@ class FigureQuality:
     loads: Sequence[float] = (0.3, 0.5, 0.7, 0.8)
     seeds: Sequence[int] = (1, 2)
     jobs_per_client: int = 60
+    #: optional fault plan injected into every run of the figure (composes
+    #: with the figure's own asymmetry; see repro.chaos)
+    chaos: Optional["FaultPlan"] = None
 
     def base(self, **overrides) -> ExperimentConfig:
         """An ExperimentConfig carrying this quality's job count."""
+        overrides.setdefault("chaos", self.chaos)
         return ExperimentConfig(jobs_per_client=self.jobs_per_client, **overrides)
 
 
@@ -316,11 +321,13 @@ def fig9(
     seed: int = 1,
     jobs_per_client: int = 60,
     schemes: Sequence[str] = ("ecmp", "clove-ecn", "conga"),
+    chaos: Optional[FaultPlan] = None,
 ) -> Dict[str, List[Tuple[float, float]]]:
     """CDFs of mice-flow completion times on the asymmetric topology.
 
     Runs in-process: a CDF needs every completed flow's FCT, which the
-    runner's scalar cache payload deliberately does not carry.
+    runner's scalar cache payload deliberately does not carry.  ``chaos``
+    injects an extra fault plan on top of the figure's static asymmetry.
     """
     cdfs = {}
     for scheme in schemes:
@@ -328,6 +335,7 @@ def fig9(
             ExperimentConfig(
                 scheme=scheme, load=load, seed=seed,
                 asymmetric=True, jobs_per_client=jobs_per_client,
+                chaos=chaos,
             )
         )
         cutoff = int(MICE_CUTOFF_BYTES * result.config.flow_scale)

@@ -39,6 +39,13 @@ METRIC_KEYS: Tuple[str, ...] = (
     "completion_rate",
     "sim_duration",
     "wall_events",
+    # robustness metrics of a faulted run (repro.chaos.metrics); all NaN
+    # when the run carried no fault plan
+    "chaos_time_to_recover",
+    "chaos_fct_inflation",
+    "chaos_fault_window_s",
+    "chaos_flushed_packets",
+    "chaos_lost_packets",
 )
 
 _NAN = float("nan")
@@ -49,12 +56,17 @@ def standard_metrics(result) -> Dict[str, float]:
 
     Empty buckets (no completed jobs, no mice, no elephants) yield NaN for
     their FCT entries, matching what the in-process extractors return.
+    The ``chaos_*`` keys carry the recovery metrics of the run's fault
+    plan (see :mod:`repro.chaos.metrics`) and are NaN on fault-free runs.
     """
+    from repro.chaos.metrics import recovery_from_result
+
     collector = result.collector
     summary = collector.summary()
     scale = result.config.flow_scale
     mice = collector.summary(max_size=int(MICE_CUTOFF_BYTES * scale))
     elephants = collector.summary(min_size=int(ELEPHANT_CUTOFF_BYTES * scale))
+    recovery = recovery_from_result(result)
     return {
         "avg_fct": summary.mean if summary else _NAN,
         "p50_fct": summary.p50 if summary else _NAN,
@@ -67,6 +79,15 @@ def standard_metrics(result) -> Dict[str, float]:
         "completion_rate": collector.completion_rate,
         "sim_duration": result.sim_duration,
         "wall_events": float(result.wall_events),
+        "chaos_time_to_recover": (
+            recovery.time_to_recover_s if recovery else _NAN
+        ),
+        "chaos_fct_inflation": recovery.fct_inflation if recovery else _NAN,
+        "chaos_fault_window_s": recovery.fault_window_s if recovery else _NAN,
+        "chaos_flushed_packets": (
+            float(recovery.flushed_packets) if recovery else _NAN
+        ),
+        "chaos_lost_packets": float(recovery.lost_packets) if recovery else _NAN,
     }
 
 

@@ -44,6 +44,9 @@ class Link:
         self.sim = sim
         self.name = name
         self.rate_bps = rate_bps
+        #: the as-built rate; degradations scale relative to this, and
+        #: restoration returns to exactly this value (no multiply-back drift)
+        self.nominal_rate_bps = rate_bps
         self.delay_s = delay_s
         self.queue = queue if queue is not None else DropTailQueue()
         self.dre = dre if dre is not None else DiscountingRateEstimator(rate_bps)
@@ -134,18 +137,46 @@ class Link:
     # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
-    def fail(self) -> None:
-        """Take the link down.  Queued packets are flushed (lost)."""
+    def fail(self) -> int:
+        """Take the link down; returns how many queued packets were flushed
+        (lost).  Emits a ``link.down`` telemetry event when instrumented,
+        so fault timelines are recoverable from any event log."""
         self.up = False
+        flushed = 0
         while self.queue.dequeue(self.sim.now) is not None:
             self.queue.stats.dropped += 1
+            flushed += 1
         self._busy = False
+        if self._tel_events is not None:
+            self._tel_events.emit("link.down", self.sim.now,
+                                  link=self.name, flushed=flushed)
+        return flushed
 
     def recover(self) -> None:
         """Bring the link back up."""
         self.up = True
+        if self._tel_events is not None:
+            self._tel_events.emit("link.up", self.sim.now, link=self.name)
         if not self.queue.is_empty and not self._busy:
             self._start_transmission()
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the live transmit rate (keeps the DRE consistent)."""
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self.rate_bps = rate_bps
+        self.dre.rate_bps = rate_bps
+
+    def degrade(self, factor: float) -> None:
+        """Run at ``factor`` of the *nominal* rate (repeat calls don't
+        compound: the factor is always relative to the as-built rate)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        self.set_rate(self.nominal_rate_bps * factor)
+
+    def restore_rate(self) -> None:
+        """Return to exactly the as-built nominal rate."""
+        self.set_rate(self.nominal_rate_bps)
 
     # ------------------------------------------------------------------
     # Telemetry

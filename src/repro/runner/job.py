@@ -27,7 +27,9 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 #: Version tag folded into every fingerprint.  Bump when the metric payload
 #: (:mod:`repro.harness.metrics`), the experiment semantics, or the cache
 #: line format changes in a way that makes old cached results stale.
-SCHEMA_VERSION = 1
+#: v2: chaos_* recovery metrics joined the standard payload and
+#: ``ExperimentConfig`` grew the ``chaos`` fault-plan field.
+SCHEMA_VERSION = 2
 
 #: the kinds of work the runner knows how to execute
 JOB_KINDS = ("experiment", "incast")
@@ -96,6 +98,7 @@ class JobSpec:
             label = (
                 f"{config.scheme} load={config.load:g} seed={config.seed}"
                 + (" asym" if config.asymmetric else "")
+                + (" chaos" if getattr(config, "chaos", None) else "")
             )
         return JobSpec(kind="experiment", config=config, label=label)
 
@@ -121,10 +124,14 @@ class JobSpec:
     def describe(self) -> Dict[str, Any]:
         """A short summary dict stored alongside cached results."""
         if self.kind == "experiment" and self.config is not None:
-            return {
+            info = {
                 "scheme": self.config.scheme,
                 "load": self.config.load,
                 "seed": self.config.seed,
                 "asymmetric": self.config.asymmetric,
             }
+            chaos = getattr(self.config, "chaos", None)
+            if chaos:
+                info["chaos"] = chaos.describe()
+            return info
         return dict(self.params)

@@ -176,15 +176,53 @@ class Network:
     # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
-    def fail_cable(self, a: str, b: str, index: int = 0) -> None:
-        """Fail one cable (both directions) between ``a`` and ``b``."""
-        self.links[(a, b)][index].fail()
-        self.links[(b, a)][index].fail()
+    def cable(self, a: str, b: str, index: int = 0) -> Tuple[Link, Link]:
+        """Both directions of one cable, with a diagnosable miss.
+
+        Raises ``KeyError`` naming the bad endpoint pair (listing the
+        node pairs that do exist) or the bad parallel index, instead of
+        surfacing a raw dict/list lookup failure.
+        """
+        forward = self.links.get((a, b))
+        reverse = self.links.get((b, a))
+        if forward is None or reverse is None:
+            pairs = sorted({tuple(sorted(key)) for key in self.links})
+            raise KeyError(
+                f"no cable between {a!r} and {b!r}; connected pairs: "
+                + ", ".join(f"{x}-{y}" for x, y in pairs)
+            )
+        if not 0 <= index < min(len(forward), len(reverse)):
+            raise KeyError(
+                f"cable index {index} out of range for {a!r}-{b!r} "
+                f"(has {min(len(forward), len(reverse))} parallel cable(s))"
+            )
+        return forward[index], reverse[index]
+
+    def fail_cable(self, a: str, b: str, index: int = 0) -> int:
+        """Fail one cable (both directions); returns flushed packet count."""
+        fwd, rev = self.cable(a, b, index)
+        return fwd.fail() + rev.fail()
 
     def recover_cable(self, a: str, b: str, index: int = 0) -> None:
         """Recover a previously failed cable."""
-        self.links[(a, b)][index].recover()
-        self.links[(b, a)][index].recover()
+        fwd, rev = self.cable(a, b, index)
+        fwd.recover()
+        rev.recover()
+
+    def degrade_cable(self, a: str, b: str, index: int = 0,
+                      factor: float = 0.25) -> None:
+        """Run one cable at ``factor`` of its *nominal* rate (both
+        directions).  Not cumulative: the factor is always relative to the
+        as-built rate."""
+        fwd, rev = self.cable(a, b, index)
+        fwd.degrade(factor)
+        rev.degrade(factor)
+
+    def restore_cable(self, a: str, b: str, index: int = 0) -> None:
+        """Return a degraded cable to exactly its as-built rate."""
+        fwd, rev = self.cable(a, b, index)
+        fwd.restore_rate()
+        rev.restore_rate()
 
     def bisection_bandwidth_bps(self) -> float:
         """Effective inter-leaf bandwidth: the tightest leaf's live uplinks.

@@ -3,22 +3,35 @@
 Section 2 motivates Clove with several *sources* of topology asymmetry:
 frequent link failures, heterogeneous switching equipment (ports from
 different vendors at different speeds), and workload shifts.  These helpers
-inject each of them into a built :class:`~repro.topology.network.Network`
-so experiments can cover the full landscape:
+inject each of them into a built :class:`~repro.topology.network.Network`.
 
-* :func:`fail_spine_cable` — the paper's evaluation scenario;
-* :func:`degrade_cable` — a heterogeneous-equipment stand-in: one cable
-  runs at a fraction of its nominal rate (e.g. a 40G port negotiated down
-  to 10G);
-* :func:`flapping_cable` — a cable that repeatedly fails and recovers,
-  exercising rediscovery;
-* :func:`multi_failure` — several cables down at once.
+Since the :mod:`repro.chaos` subsystem landed, each helper is a thin,
+signature-compatible wrapper over the corresponding
+:class:`~repro.chaos.plan.FaultPlan` preset executed through a
+:class:`~repro.chaos.engine.ChaosEngine` — prefer building plans directly
+(they serialize, fingerprint, and produce recovery metrics):
+
+* :func:`fail_spine_cable` — the paper's evaluation scenario
+  (:func:`repro.chaos.single_cable`);
+* :func:`degrade_cable` — a heterogeneous-equipment stand-in
+  (:func:`repro.chaos.degraded`);
+* :func:`flapping_cable` — repeated fail/recover cycles
+  (:func:`repro.chaos.flap`);
+* :func:`multi_failure` — several cables down at once
+  (:func:`repro.chaos.multi_failure_plan`).
 """
 
 from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+from repro.chaos.engine import ChaosEngine
+from repro.chaos.plan import (
+    degraded,
+    flap,
+    multi_failure_plan,
+    single_cable,
+)
 from repro.sim.engine import Simulator
 from repro.topology.network import Network
 
@@ -26,7 +39,7 @@ from repro.topology.network import Network
 def fail_spine_cable(net: Network, spine: str = "S2", leaf: str = "L2",
                      index: int = 0) -> None:
     """The paper's Section 5.2 failure: one spine-leaf cable down."""
-    net.fail_cable(leaf, spine, index)
+    _apply_now(net, single_cable(leaf, spine, index))
 
 
 def degrade_cable(
@@ -37,14 +50,11 @@ def degrade_cable(
     Models heterogeneous switching equipment — the second asymmetry source
     Section 2 cites.  ECMP still treats the slow cable as equal cost, so
     congestion-oblivious schemes overload it exactly as with a failure,
-    just less severely.
+    just less severely.  A cable that does not exist raises ``KeyError``
+    naming the available pairs; ``Network.restore_cable`` undoes the
+    degradation exactly (back to the as-built rate, not a multiply-back).
     """
-    if not 0.0 < factor <= 1.0:
-        raise ValueError("factor must be in (0, 1]")
-    for src, dst in ((a, b), (b, a)):
-        link = net.links[(src, dst)][index]
-        link.rate_bps *= factor
-        link.dre.rate_bps = link.rate_bps
+    _apply_now(net, degraded(a, b, index, factor=factor))
 
 
 def flapping_cable(
@@ -57,27 +67,35 @@ def flapping_cable(
     downtime: float = 0.1,
     flaps: int = 4,
     start: float = 0.0,
-) -> None:
+) -> ChaosEngine:
     """Schedule ``flaps`` fail/recover cycles on one cable.
 
     Each cycle: down at ``start + k*period`` for ``downtime`` seconds.
     Exercises Clove's re-discovery loop and the hash remapping on group
-    size changes.
+    size changes.  Returns the scheduling :class:`ChaosEngine` (its
+    markers/windows feed :mod:`repro.chaos.metrics`).
     """
     if downtime >= period:
         raise ValueError("downtime must be shorter than the period")
-    for k in range(flaps):
-        t_down = start + k * period
-        sim.at(t_down, net.fail_cable, a, b, index)
-        sim.at(t_down + downtime, net.recover_cable, a, b, index)
+    plan = flap(a, b, index, start=start, period=period,
+                downtime=downtime, flaps=flaps)
+    engine = ChaosEngine(sim, net, plan)
+    engine.start()
+    return engine
 
 
 def multi_failure(net: Network, cables: Sequence[Tuple[str, str, int]]) -> None:
     """Fail several cables at once, e.g. a whole spine's downlinks."""
-    for a, b, index in cables:
-        net.fail_cable(a, b, index)
+    _apply_now(net, multi_failure_plan(cables))
 
 
 def effective_bisection(net: Network) -> float:
     """Live bisection bandwidth after whatever was injected (bps)."""
     return net.bisection_bandwidth_bps()
+
+
+def _apply_now(net: Network, plan) -> ChaosEngine:
+    """Run a plan whose events are all due immediately."""
+    engine = ChaosEngine(net.sim, net, plan)
+    engine.start()
+    return engine
