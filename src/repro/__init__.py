@@ -23,7 +23,9 @@ from repro.core import (
     CloveParams,
     EdgeFlowletPolicy,
     FlowletTable,
+    HealthConfig,
     PathDiscovery,
+    PathHealthMonitor,
     DiscoveryConfig,
     WeightedPathTable,
 )
@@ -53,6 +55,8 @@ __all__ = [
     "FlowletTable",
     "PathDiscovery",
     "DiscoveryConfig",
+    "HealthConfig",
+    "PathHealthMonitor",
     "WeightedPathTable",
     "EcmpPolicy",
     "PrestoPolicy",

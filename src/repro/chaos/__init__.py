@@ -21,9 +21,13 @@ Entry points: ``ExperimentConfig(chaos=FaultPlan(...))``, the CLI's
 from repro.chaos.engine import ChaosEngine, windows_from_markers
 from repro.chaos.metrics import (
     FlowSample,
+    HealthReport,
     RecoveryReport,
     compute_recovery,
+    format_health_report,
     format_report,
+    health_from_records,
+    health_from_result,
     recovery_from_records,
     recovery_from_result,
 )
@@ -49,12 +53,16 @@ __all__ = [
     "FaultEvent",
     "FaultPlan",
     "FlowSample",
+    "HealthReport",
     "RecoveryReport",
     "compute_recovery",
     "degraded",
     "fault_windows",
     "flap",
+    "format_health_report",
     "format_report",
+    "health_from_records",
+    "health_from_result",
     "iter_presets",
     "multi_failure_plan",
     "preset",

@@ -191,20 +191,26 @@ def _time_to_recover(
     if not (pre_goodput > 0):  # also False for NaN: no baseline, no answer
         return _NAN
     floor = threshold * pre_goodput
-    # Never dipped below the threshold — during faults or after — means
-    # the scheme rode the faults out: recovery time zero.
-    dipped = any(
-        _goodput_bps(flows, start, end) < floor for start, end in windows
-    )
     if bin_width is None:
         span = fault_end - windows[0][0]
         bin_width = max(span / 2.0, 1e-3)
-    if not dipped:
-        return 0.0
-    t = fault_end
+    # An open-ended final window (the fault persists to the end of the run)
+    # can never have a *post-fault* recovery; what self-healing buys there
+    # is re-convergence *around* the fault, so the scan starts at the last
+    # window's onset instead of its end.
+    scan_from = windows[-1][0] if fault_end >= end_time else fault_end
+    if scan_from == fault_end:
+        # Closed windows: never dipping below the threshold — during faults
+        # or after — means the scheme rode the faults out: recovery time 0.
+        dipped = any(
+            _goodput_bps(flows, start, end) < floor for start, end in windows
+        )
+        if not dipped:
+            return 0.0
+    t = scan_from
     while t + bin_width <= end_time:
         if _goodput_bps(flows, t, t + bin_width) >= floor:
-            return t + bin_width - fault_end
+            return t + bin_width - scan_from
         t += bin_width
     return _NAN  # never got back over the line before the run ended
 
@@ -325,6 +331,176 @@ def recovery_from_records(
         blackholed_packets=blackholed,
         **kwargs,
     )
+
+
+# ----------------------------------------------------------------------
+# Health metrics: what the self-healing monitor did during the run
+# ----------------------------------------------------------------------
+@dataclass
+class HealthReport:
+    """What the path health monitors did in one faulted (or healthy) run.
+
+    NaN marks a quantity with no samples: ``detection_latency_s`` when
+    nothing was quarantined (or no fault marker precedes the quarantine),
+    ``probation_s`` when nothing was restored.
+    """
+
+    #: quarantine actions across all monitors
+    paths_quarantined: int
+    #: paths promoted back to full service
+    paths_restored: int
+    #: suspect declarations (losses, RTT spikes, CE anomalies)
+    suspect_events: int
+    probes_sent: int
+    probes_lost: int
+    #: first quarantine minus the most recent preceding fault injection
+    detection_latency_s: float
+    #: mean time restored paths spent in graduated probation
+    probation_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        """The report as one JSON-able dict."""
+        return {
+            "paths_quarantined": self.paths_quarantined,
+            "paths_restored": self.paths_restored,
+            "suspect_events": self.suspect_events,
+            "probes_sent": self.probes_sent,
+            "probes_lost": self.probes_lost,
+            "detection_latency_s": self.detection_latency_s,
+            "probation_s": self.probation_s,
+        }
+
+
+def _detection_latency(
+    quarantine_times: Sequence[float], fault_times: Sequence[float]
+) -> float:
+    """First quarantine relative to the closest fault injection before it."""
+    if not quarantine_times:
+        return _NAN
+    first = min(quarantine_times)
+    preceding = [t for t in fault_times if t <= first]
+    if not preceding:
+        return _NAN
+    return first - max(preceding)
+
+
+def _health_report(
+    quarantine_times: Sequence[float],
+    probations: Sequence[float],
+    fault_times: Sequence[float],
+    suspects: int,
+    probes_sent: int,
+    probes_lost: int,
+) -> HealthReport:
+    probation = (
+        sum(probations) / len(probations) if probations else _NAN
+    )
+    return HealthReport(
+        paths_quarantined=len(quarantine_times),
+        paths_restored=len(probations),
+        suspect_events=suspects,
+        probes_sent=probes_sent,
+        probes_lost=probes_lost,
+        detection_latency_s=_detection_latency(quarantine_times, fault_times),
+        probation_s=probation,
+    )
+
+
+def health_from_result(result) -> Optional[HealthReport]:
+    """Health metrics of a run, or None when no monitor was attached."""
+    monitors = [
+        host.health for host in getattr(result, "hosts", {}).values()
+        if getattr(host, "health", None) is not None
+    ]
+    if not monitors:
+        return None
+    engine = getattr(result, "chaos", None)
+    fault_times = []
+    if engine is not None:
+        fault_times = [
+            float(m.get("time", 0.0)) for m in engine.markers
+            if m.get("action") == "link_down"
+            or (m.get("action") == "degrade" and m.get("factor", 1.0) < 1.0)
+        ]
+    quarantines: List[float] = []
+    probations: List[float] = []
+    for monitor in monitors:
+        for marker in monitor.markers:
+            if marker.action == "quarantine":
+                quarantines.append(marker.time)
+            elif marker.action == "restore":
+                probations.append(marker.probation_s)
+    return _health_report(
+        quarantines, probations, fault_times,
+        suspects=sum(m.suspect_events for m in monitors),
+        probes_sent=sum(m.probes_sent for m in monitors),
+        probes_lost=sum(m.probes_lost for m in monitors),
+    )
+
+
+def health_from_records(
+    records: Sequence[Dict],
+    counters: Optional[Dict[str, float]] = None,
+) -> Optional[HealthReport]:
+    """Recompute a run's health metrics from raw telemetry records.
+
+    ``counters`` is the artifact's scraped counter snapshot (the
+    ``counters`` dict of :func:`repro.telemetry.load_jsonl`); the per-host
+    probe totals live there, not in the event stream.  Returns None when
+    the artifact holds no ``health.*`` events at all (monitor disabled, or
+    the run predates it).
+    """
+    quarantines = [
+        float(r.get("time", 0.0)) for r in records
+        if r.get("type") == "health.quarantine"
+    ]
+    probations = [
+        float(r.get("probation_s", 0.0)) for r in records
+        if r.get("type") == "health.restore"
+    ]
+    suspects = sum(1 for r in records if r.get("type") == "health.suspect")
+    if not quarantines and not probations and not suspects:
+        return None
+    fault_times = [
+        float(m.get("time", 0.0)) for m in _markers_from_records(records)
+        if m.get("action") == "link_down"
+        or (m.get("action") == "degrade" and float(m.get("factor", 1.0)) < 1.0)
+    ]
+
+    def _total(prefix: str) -> int:
+        if not counters:
+            return 0
+        return int(sum(
+            value for name, value in counters.items()
+            if name == prefix or name.startswith(prefix + "{")
+        ))
+
+    return _health_report(
+        quarantines, probations, fault_times,
+        suspects=suspects,
+        probes_sent=_total("health.probes_sent"),
+        probes_lost=_total("health.probes_lost"),
+    )
+
+
+def format_health_report(report: HealthReport) -> str:
+    """The health block ``repro run --health`` / ``repro chaos report``
+    print."""
+    def fmt_ms(value: float) -> str:
+        return "n/a" if math.isnan(value) else f"{value * 1000:.3f} ms"
+
+    lost = (
+        f"{report.probes_lost}/{report.probes_sent}"
+        if report.probes_sent else "n/a"
+    )
+    return "\n".join([
+        f"paths quarantined : {report.paths_quarantined} "
+        f"({report.suspect_events} suspect events)",
+        f"paths restored    : {report.paths_restored} "
+        f"(mean probation {fmt_ms(report.probation_s)})",
+        f"detection latency : {fmt_ms(report.detection_latency_s)}",
+        f"probes lost/sent  : {lost}",
+    ])
 
 
 def format_report(report: RecoveryReport) -> str:

@@ -113,6 +113,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     chaos.add_argument("--chaos-preset", metavar="NAME", default=None,
                        help="inject a named built-in fault plan "
                             "(`repro chaos presets` lists them)")
+    parser.add_argument("--health", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="run the per-hypervisor path health monitor "
+                             "(liveness probing, quarantine, re-discovery)")
+    parser.add_argument("--failover-delay", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="how long switches keep a dead link in their "
+                             "ECMP groups (0 = idealized instant failover)")
 
 
 def _chaos_plan(args) -> Optional[FaultPlan]:
@@ -147,6 +155,8 @@ def _config(args, scheme: Optional[str] = None) -> ExperimentConfig:
         asymmetric=args.asymmetric,
         flow_scale=args.flow_scale,
         chaos=_chaos_plan(args),
+        health=args.health,
+        failover_delay_s=args.failover_delay,
     )
 
 
@@ -179,6 +189,8 @@ def cmd_run(args) -> int:
           f" ({m['wall_events']:.0f} events)")
     if args.chaos is not None or args.chaos_preset is not None:
         _print_chaos_metrics(m)
+    if args.health:
+        _print_health_metrics(m)
     return 0
 
 
@@ -199,6 +211,21 @@ def _print_chaos_metrics(m) -> None:
           f"{_fmt_chaos(m['chaos_fct_inflation'], 'x', digits=2)}")
     print(f"lost packets : {m['chaos_lost_packets']:.0f}"
           f" ({m['chaos_flushed_packets']:.0f} flushed)")
+
+
+def _print_health_metrics(m) -> None:
+    """The self-healing lines of ``repro run`` under --health."""
+    if math.isnan(m["health_paths_quarantined"]):
+        print("health       : enabled, but the scheme has no path table "
+              "(no monitor ran)")
+        return
+    print(f"health       : {m['health_paths_quarantined']:.0f} quarantined, "
+          f"{m['health_paths_restored']:.0f} restored")
+    print(f"detection    : "
+          f"{_fmt_chaos(m['health_detection_latency_s'], ' ms', 1e3)}"
+          f" (probation {_fmt_chaos(m['health_probation_s'], ' ms', 1e3)})")
+    print(f"health probes: {m['health_probes_lost']:.0f} lost / "
+          f"{m['health_probes_sent']:.0f} sent")
 
 
 def cmd_sweep(args) -> int:
@@ -302,7 +329,12 @@ def cmd_telemetry(args) -> int:
 
 def cmd_chaos(args) -> int:
     """Handle ``repro chaos``: presets, plan dumps, offline reports."""
-    from repro.chaos.metrics import format_report, recovery_from_records
+    from repro.chaos.metrics import (
+        format_health_report,
+        format_report,
+        health_from_records,
+        recovery_from_records,
+    )
 
     if args.chaos_command == "presets":
         for name, description in iter_presets():
@@ -322,13 +354,18 @@ def cmd_chaos(args) -> int:
     except (OSError, ValueError) as exc:
         print(f"cannot read {args.file!r}: {exc}", file=sys.stderr)
         return 1
-    report = recovery_from_records(dump["events"] + dump["manifests"])
+    records = dump["events"] + dump["manifests"]
+    report = recovery_from_records(records)
     if report is None:
         print(f"{args.file}: no chaos events found (was the run injected "
               "with --chaos/--chaos-preset and --telemetry-out?)",
               file=sys.stderr)
         return 1
     print(format_report(report))
+    health = health_from_records(records, counters=dump.get("counters"))
+    if health is not None:
+        print()
+        print(format_health_report(health))
     return 0
 
 

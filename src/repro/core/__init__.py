@@ -5,6 +5,8 @@
   disjoint path selection (Section 3.1);
 * :mod:`repro.core.weights` — the weighted-round-robin path table with
   ECN-driven weight adaptation (Section 3.2, Figure 2);
+* :mod:`repro.core.health` — per-hypervisor path liveness monitoring with
+  quarantine, graduated probation, and targeted re-discovery;
 * :mod:`repro.core.clove` — the three edge policies: Edge-Flowlet,
   Clove-ECN and Clove-INT.
 """
@@ -12,6 +14,7 @@
 from repro.core.flowlet import FlowletTable
 from repro.core.weights import WeightedPathTable
 from repro.core.discovery import PathDiscovery, DiscoveryConfig
+from repro.core.health import HealthConfig, PathHealthMonitor
 from repro.core.clove import (
     EdgeFlowletPolicy,
     CloveEcnPolicy,
@@ -24,6 +27,8 @@ __all__ = [
     "WeightedPathTable",
     "PathDiscovery",
     "DiscoveryConfig",
+    "HealthConfig",
+    "PathHealthMonitor",
     "EdgeFlowletPolicy",
     "CloveEcnPolicy",
     "CloveIntPolicy",

@@ -132,6 +132,7 @@ class CloveEcnPolicy(_FlowletPolicyBase):
     """
 
     wants_ecn = True
+    wants_health = True
 
     def __init__(
         self,
@@ -166,7 +167,10 @@ class CloveEcnPolicy(_FlowletPolicyBase):
         port, _flowlet_id = self.flowlets.lookup(inner, now)
         if port is not None:
             return port
-        if not self.weights.has_paths(inner.dst_ip):
+        if not self.weights.has_live_paths(inner.dst_ip):
+            # Pre-discovery, or every discovered path quarantined: fall
+            # back to static hashing (the guest is throttled through the
+            # all-paths-congested ECE rule meanwhile).
             choice = self._fallback_port(inner)
         else:
             choice = self.weights.next_port(inner.dst_ip)
@@ -191,7 +195,10 @@ class CloveEcnPolicy(_FlowletPolicyBase):
 
     def on_path_feedback(self, feedback: PathFeedback, now: float) -> None:
         if feedback.congested:
-            self.weights.mark_congested(feedback.dst_ip, feedback.port, now)
+            try:
+                self.weights.mark_congested(feedback.dst_ip, feedback.port, now)
+            except KeyError:
+                pass  # stale echo: path remapped, or pre-discovery fallback
         if self.adaptive_gap and feedback.util is not None:
             self._delays.setdefault(feedback.dst_ip, {})[feedback.port] = feedback.util
 
@@ -212,6 +219,7 @@ class CloveIntPolicy(_FlowletPolicyBase):
 
     wants_ecn = True   # keeps the ECN safety net for the all-congested case
     wants_int = True
+    wants_health = True
 
     def __init__(
         self,
@@ -239,7 +247,7 @@ class CloveIntPolicy(_FlowletPolicyBase):
         port, _flowlet_id = self.flowlets.lookup(inner, now)
         if port is not None:
             return port
-        if not self.weights.has_paths(inner.dst_ip):
+        if not self.weights.has_live_paths(inner.dst_ip):
             choice = self._fallback_port(inner)
         else:
             choice = self.weights.least_utilized_port(inner.dst_ip, now)
@@ -256,7 +264,10 @@ class CloveIntPolicy(_FlowletPolicyBase):
         if feedback.util is not None:
             self.weights.record_util(feedback.dst_ip, feedback.port, feedback.util, now)
         if feedback.congested:
-            self.weights.mark_congested(feedback.dst_ip, feedback.port, now)
+            try:
+                self.weights.mark_congested(feedback.dst_ip, feedback.port, now)
+            except KeyError:
+                pass  # stale echo: path remapped, or pre-discovery fallback
 
     def all_paths_congested(self, dst_ip: int, now: float) -> bool:
         return self.weights.all_congested(dst_ip, now)

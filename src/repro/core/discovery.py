@@ -18,7 +18,6 @@ remapping, per-path state is preserved and only the port labels change
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
@@ -29,7 +28,21 @@ from repro.sim.engine import Simulator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hypervisor.host import Host
 
-_probe_ids = itertools.count(1)
+def next_probe_id(sim: Simulator) -> int:
+    """Allocate a probe id unique across *all* probe senders of one run.
+
+    Both the traceroute daemon and the health monitor
+    (:mod:`repro.core.health`) send probes that destinations answer with
+    the same ``probe_reply`` metadata; drawing ids from one shared counter
+    lets each receiver claim exactly its own replies.  The counter lives
+    on the :class:`~repro.sim.engine.Simulator` — not at module level —
+    so a run's ids never depend on how many runs the process executed
+    before it (serial and parallel sweeps must stay bit-identical).
+    """
+    pid = getattr(sim, "_next_probe_id", 1)
+    sim._next_probe_id = pid + 1
+    return pid
+
 
 #: ephemeral range probes draw candidate source ports from
 _PORT_LO, _PORT_HI = 49152, 65535
@@ -53,16 +66,30 @@ class DiscoveryConfig:
 
 
 class _Round:
-    """State of one in-flight probing round towards one destination."""
+    """State of one in-flight probing round towards one destination.
 
-    __slots__ = ("ports", "hops", "reached", "timer")
+    Every round carries a hard ``deadline`` (its timeout event): probes are
+    fire-and-forget, so when a mid-round ``link.fail`` flushes them the
+    replies simply never arrive — the deadline still fires
+    ``_finish_round``, the round resolves from whatever replies did make
+    it, and the periodic reprobe chain stays alive.  A round can never be
+    left stuck in ``_rounds``.
+    """
+
+    __slots__ = ("ports", "hops", "reached", "timer", "deadline",
+                 "probe_events")
 
     def __init__(self, ports: List[int], max_ttl: int) -> None:
         self.ports = ports
         #: port -> {ttl: interface}
         self.hops: Dict[int, Dict[int, str]] = {port: {} for port in ports}
         self.reached: Set[int] = set()
+        #: the timeout event guaranteeing completion (cancel-safe handle)
         self.timer = None
+        #: absolute sim time the round resolves at, come what may
+        self.deadline = float("inf")
+        #: scheduled probe-send events, cancellable via cancel_round
+        self.probe_events: List[object] = []
 
 
 def select_disjoint(
@@ -119,6 +146,9 @@ class PathDiscovery:
         self._known: Dict[int, List[Tuple[int, PathTrace]]] = {}
         self._watched: Set[int] = set()
         self.rounds_completed = 0
+        #: rounds that resolved with zero usable candidates (all probes or
+        #: replies lost — e.g. every path through a dead fabric region)
+        self.rounds_empty = 0
         self.probes_sent = 0
 
     # ------------------------------------------------------------------
@@ -138,10 +168,16 @@ class PathDiscovery:
     # ------------------------------------------------------------------
     # Probing
     # ------------------------------------------------------------------
-    def start_round(self, dst_ip: int) -> None:
-        """Launch a (paced) probing round towards ``dst_ip``."""
+    def start_round(self, dst_ip: int) -> bool:
+        """Launch a (paced) probing round towards ``dst_ip``.
+
+        Returns False (and does nothing) when a round towards ``dst_ip``
+        is already in flight — callers that need a *fresh* round (e.g. the
+        health monitor's targeted re-discovery) can rely on the in-flight
+        one resolving by its deadline and retry after it.
+        """
         if dst_ip in self._rounds:
-            return  # a round is already in flight
+            return False  # a round is already in flight
         cfg = self.config
         ports = self.rng.sample(range(_PORT_LO, _PORT_HI), cfg.n_candidate_ports)
         round_ = _Round(ports, cfg.max_ttl)
@@ -150,18 +186,41 @@ class PathDiscovery:
         index = 0
         for port in ports:
             for ttl in range(1, cfg.max_ttl + 1):
-                self.sim.schedule(
+                round_.probe_events.append(self.sim.schedule(
                     offset + index * cfg.probe_spacing,
                     self._send_probe, dst_ip, port, ttl,
-                )
+                ))
                 index += 1
-        round_.timer = self.sim.schedule(
-            offset + index * cfg.probe_spacing + cfg.round_timeout,
-            self._finish_round, dst_ip,
-        )
+        timeout = offset + index * cfg.probe_spacing + cfg.round_timeout
+        round_.deadline = self.sim.now + timeout
+        round_.timer = self.sim.schedule(timeout, self._finish_round, dst_ip)
+        return True
+
+    def round_in_flight(self, dst_ip: int) -> bool:
+        """Whether a probing round towards ``dst_ip`` is currently open."""
+        return dst_ip in self._rounds
+
+    def cancel_round(self, dst_ip: int) -> bool:
+        """Abort an in-flight round: cancel its timer and unsent probes.
+
+        The periodic reprobe chain is re-armed (a cancelled round must not
+        kill future discovery for a watched destination).  Returns False
+        when no round was in flight.
+        """
+        round_ = self._rounds.pop(dst_ip, None)
+        if round_ is None:
+            return False
+        if round_.timer is not None:
+            round_.timer.cancel()
+        for event in round_.probe_events:
+            event.cancel()
+        self._drop_probe_state(dst_ip, round_)
+        if dst_ip in self._watched:
+            self.sim.schedule(self.config.probe_interval, self._reprobe, dst_ip)
+        return True
 
     def _send_probe(self, dst_ip: int, port: int, ttl: int) -> None:
-        pid = next(_probe_ids)
+        pid = next_probe_id(self.sim)
         self._probe_index[pid] = (dst_ip, port, ttl)
         key = FlowKey(self.host.ip, dst_ip, port, STT_DST_PORT)
         probe = Packet(key, payload_bytes=28, created_at=self.sim.now)
@@ -203,7 +262,8 @@ class PathDiscovery:
     def _finish_round(self, dst_ip: int) -> None:
         round_ = self._rounds.pop(dst_ip, None)
         if round_ is None:
-            return
+            return  # already resolved or cancelled; the timer raced us
+        round_.timer = None
         candidates: Dict[int, PathTrace] = {}
         for port in round_.ports:
             if port not in round_.reached:
@@ -219,14 +279,22 @@ class PathDiscovery:
                 ports = [port for port, _trace in selection]
                 traces = [trace for _port, trace in selection]
                 self.on_update(dst_ip, ports, traces)
+        else:
+            # Nothing usable came back (all probes flushed / blackholed):
+            # keep the previous mapping rather than installing nothing, and
+            # let the reprobe below try again.
+            self.rounds_empty += 1
         self.rounds_completed += 1
-        # Clean the probe index of this round's entries.
+        self._drop_probe_state(dst_ip, round_)
+        # Periodic re-probing keeps the mapping fresh across failures.
+        self.sim.schedule(self.config.probe_interval, self._reprobe, dst_ip)
+
+    def _drop_probe_state(self, dst_ip: int, round_: _Round) -> None:
+        """Clean the probe index of one round's entries."""
         stale = [pid for pid, (d, p, _t) in self._probe_index.items()
                  if d == dst_ip and p in round_.hops]
         for pid in stale:
             del self._probe_index[pid]
-        # Periodic re-probing keeps the mapping fresh across failures.
-        self.sim.schedule(self.config.probe_interval, self._reprobe, dst_ip)
 
     def _reprobe(self, dst_ip: int) -> None:
         if dst_ip in self._watched:

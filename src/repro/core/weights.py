@@ -10,22 +10,41 @@ from hot paths within an RTT or two.
 The WRR itself is the "smooth" variant (interleaves choices rather than
 emitting runs), which matches rotating "through the ports ... according to
 the new set of weights".
+
+Beyond congestion weighting, each path carries a liveness *state* driven by
+the :class:`~repro.core.health.PathHealthMonitor`:
+
+* ``live`` — normal WRR/least-utilized member;
+* ``quarantined`` — declared dead; weight pinned to zero and excluded from
+  selection and normalization (its former share respreads atomically over
+  the survivors);
+* ``probation`` — recovering: selectable again, but at a graduated fraction
+  of its uniform share until the monitor promotes it back to ``live``.
+
+The invariant is that the weights of *selectable* (non-quarantined) paths
+always sum to 1, so quarantining never changes aggregate send rate — only
+where it lands.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hypervisor.policy import PathTrace
 
 #: weights are never allowed to collapse entirely to zero
 _MIN_WEIGHT = 1e-4
 
+#: path liveness states (see the module docstring)
+STATE_LIVE = "live"
+STATE_PROBATION = "probation"
+STATE_QUARANTINED = "quarantined"
+
 
 class _PathState:
     __slots__ = ("port", "weight", "wrr_current", "congested_until", "util",
-                 "util_time", "trace")
+                 "util_time", "trace", "state")
 
     def __init__(self, port: int, weight: float, trace: Optional[PathTrace]) -> None:
         self.port = port
@@ -35,6 +54,7 @@ class _PathState:
         self.util = 0.0
         self.util_time = -1.0
         self.trace = trace
+        self.state = STATE_LIVE
 
 
 class WeightedPathTable:
@@ -69,6 +89,11 @@ class WeightedPathTable:
         self._int_rotation: Dict[int, int] = {}
         # Counters.
         self.weight_reductions = 0
+        self.quarantined_total = 0
+        self.restored_total = 0
+        #: echoes naming a port this table never installed (stale echoes
+        #: after a remap, or echoes for pre-discovery fallback ports)
+        self.unknown_ports = 0
 
     #: telemetry hook; instances overwrite via :meth:`attach_telemetry`
     _tel_events = None
@@ -106,6 +131,7 @@ class WeightedPathTable:
                 state = _PathState(port, previous.weight, trace)
                 state.congested_until = previous.congested_until
                 state.util = previous.util
+                state.state = previous.state
                 if previous.port != port:
                     remap[previous.port] = port
             else:
@@ -133,30 +159,137 @@ class WeightedPathTable:
         """Whether a port set has been installed for ``dst_ip``."""
         return bool(self._paths.get(dst_ip))
 
+    def has_live_paths(self, dst_ip: int) -> bool:
+        """Whether at least one non-quarantined path to ``dst_ip`` exists."""
+        return any(
+            s.state != STATE_QUARANTINED for s in self._paths.get(dst_ip, [])
+        )
+
     def ports_for(self, dst_ip: int) -> List[int]:
         """The installed ports towards ``dst_ip`` (empty if none)."""
         return [state.port for state in self._paths.get(dst_ip, [])]
+
+    def live_ports_for(self, dst_ip: int) -> List[int]:
+        """The selectable (non-quarantined) ports towards ``dst_ip``."""
+        return [
+            s.port for s in self._paths.get(dst_ip, [])
+            if s.state != STATE_QUARANTINED
+        ]
+
+    def destinations(self) -> List[int]:
+        """Every destination with an installed port set (insertion order)."""
+        return list(self._paths)
 
     def weights_for(self, dst_ip: int) -> Dict[int, float]:
         """Current ``{port: weight}`` mapping towards ``dst_ip``."""
         return {s.port: s.weight for s in self._paths.get(dst_ip, [])}
 
+    def state_of(self, dst_ip: int, port: int) -> str:
+        """Liveness state of one path (raises ``KeyError`` when unknown)."""
+        return self._state(dst_ip, port, "state_of").state
+
+    def path_states(self, dst_ip: int) -> List[Tuple[int, str]]:
+        """``(port, state)`` for every installed path towards ``dst_ip``."""
+        return [(s.port, s.state) for s in self._paths.get(dst_ip, [])]
+
+    # ------------------------------------------------------------------
+    # Liveness lifecycle (driven by repro.core.health)
+    # ------------------------------------------------------------------
+    def _state(self, dst_ip: int, port: int, op: str) -> _PathState:
+        states = self._paths.get(dst_ip)
+        if not states:
+            raise KeyError(
+                f"no paths for destination {dst_ip} ({op}); "
+                f"known destinations: {sorted(self._paths)}"
+            )
+        target = next((s for s in states if s.port == port), None)
+        if target is None:
+            raise KeyError(
+                f"no path on port {port} towards {dst_ip} ({op}); "
+                f"installed ports: {[s.port for s in states]}"
+            )
+        return target
+
+    def quarantine(self, dst_ip: int, port: int) -> bool:
+        """Declare one path dead: weight to zero, mass respread atomically.
+
+        The removed weight is redistributed over the surviving selectable
+        paths in the same call (the guest never sees a partially-updated
+        table).  Returns False when the path was already quarantined.
+        Raises ``KeyError`` for a destination/port this table never
+        installed.
+        """
+        target = self._state(dst_ip, port, "quarantine")
+        if target.state == STATE_QUARANTINED:
+            return False
+        target.state = STATE_QUARANTINED
+        target.weight = 0.0
+        target.wrr_current = 0.0
+        self.quarantined_total += 1
+        self._normalize(self._paths[dst_ip])
+        return True
+
+    def begin_probation(self, dst_ip: int, port: int, fraction: float) -> bool:
+        """Readmit a quarantined path at ``fraction`` of its uniform share.
+
+        Also advances an already-probationary path to a new fraction (the
+        graduated 10% -> 50% -> full schedule).  Returns False when the path
+        is fully live (nothing to do); raises ``KeyError`` when unknown.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("probation fraction must be in (0, 1]")
+        target = self._state(dst_ip, port, "begin_probation")
+        if target.state == STATE_LIVE:
+            return False
+        states = self._paths[dst_ip]
+        target.state = STATE_PROBATION
+        selectable = [s for s in states if s.state != STATE_QUARANTINED]
+        target.weight = fraction / max(len(selectable), 1)
+        target.wrr_current = 0.0
+        self._normalize(states)
+        return True
+
+    def promote(self, dst_ip: int, port: int) -> bool:
+        """Probation served: the path becomes a full ``live`` member again.
+
+        Its weight is reset to the uniform share (congestion adaptation
+        takes over from there).  Returns False when it was already live.
+        """
+        target = self._state(dst_ip, port, "promote")
+        if target.state == STATE_LIVE:
+            return False
+        states = self._paths[dst_ip]
+        target.state = STATE_LIVE
+        selectable = [s for s in states if s.state != STATE_QUARANTINED]
+        target.weight = 1.0 / max(len(selectable), 1)
+        self.restored_total += 1
+        self._normalize(states)
+        return True
+
     # ------------------------------------------------------------------
     # Selection
     # ------------------------------------------------------------------
     def next_port(self, dst_ip: int) -> int:
-        """Smooth-WRR pick for a new flowlet towards ``dst_ip``."""
+        """Smooth-WRR pick for a new flowlet towards ``dst_ip``.
+
+        Quarantined paths never come up; raises ``KeyError`` when no path
+        is installed *or* every installed path is quarantined (callers fall
+        back to static hashing in that case).
+        """
         states = self._paths.get(dst_ip)
         if not states:
             raise KeyError(f"no paths for destination {dst_ip}")
         total = 0.0
         best: Optional[_PathState] = None
         for state in states:
+            if state.state == STATE_QUARANTINED:
+                continue
             state.wrr_current += state.weight
             total += state.weight
             if best is None or state.wrr_current > best.wrr_current:
                 best = state
-        assert best is not None
+        if best is None:
+            raise KeyError(f"no live paths for destination {dst_ip}")
         best.wrr_current -= total
         return best.port
 
@@ -175,9 +308,12 @@ class WeightedPathTable:
         herd every source onto one path whenever estimates equalize (e.g.
         when a shared last-hop link dominates all of them).
         """
-        states = self._paths.get(dst_ip)
+        states = [
+            s for s in self._paths.get(dst_ip, ())
+            if s.state != STATE_QUARANTINED
+        ]
         if not states:
-            raise KeyError(f"no paths for destination {dst_ip}")
+            raise KeyError(f"no live paths for destination {dst_ip}")
         epsilon = tie_epsilon if tie_epsilon is not None else self.tie_epsilon
         utils = [self._aged_util(s, now) for s in states]
         lowest = min(utils)
@@ -197,21 +333,40 @@ class WeightedPathTable:
     # Telemetry
     # ------------------------------------------------------------------
     def mark_congested(self, dst_ip: int, port: int, now: float) -> None:
-        """ECN echo for ``port``: cut its weight, spread mass elsewhere."""
+        """ECN echo for ``port``: cut its weight, spread mass elsewhere.
+
+        Raises a descriptive ``KeyError`` (mirroring the
+        ``Network.cable()`` convention) when the destination or port was
+        never installed — stale echoes arrive legitimately after a
+        remapping or for pre-discovery fallback ports, so policies catch
+        it; the ``unknown_ports`` counter (surfaced as the
+        ``weights.unknown_port`` telemetry counter) records how often.
+        """
         states = self._paths.get(dst_ip)
         if not states:
-            return
+            self.unknown_ports += 1
+            raise KeyError(
+                f"echo for unknown destination {dst_ip} (port {port}); "
+                f"known destinations: {sorted(self._paths)}"
+            )
         target = next((s for s in states if s.port == port), None)
         if target is None:
-            return
+            self.unknown_ports += 1
+            raise KeyError(
+                f"echo for unknown port {port} towards {dst_ip}; "
+                f"installed ports: {[s.port for s in states]}"
+            )
         target.congested_until = now + self.congestion_expiry
+        if target.state == STATE_QUARANTINED:
+            return  # weight already zero; nothing to cut or respread
         removed = target.weight * self.reduction_factor
         target.weight -= removed
+        selectable = [s for s in states if s.state != STATE_QUARANTINED]
         beneficiaries = [
-            s for s in states if s is not target and s.congested_until <= now
+            s for s in selectable if s is not target and s.congested_until <= now
         ]
         if not beneficiaries:
-            beneficiaries = [s for s in states if s is not target]
+            beneficiaries = [s for s in selectable if s is not target]
         if beneficiaries:
             share = removed / len(beneficiaries)
             for state in beneficiaries:
@@ -249,18 +404,35 @@ class WeightedPathTable:
                 return
 
     def all_congested(self, dst_ip: int, now: float) -> bool:
-        """True when every path to ``dst_ip`` is marked congested."""
+        """True when every path to ``dst_ip`` is congested *or* quarantined.
+
+        A quarantined path counts as congested: when the health monitor has
+        taken every path out of service the guest must be throttled via the
+        same ECE-injection rule the paper uses for all-paths-congested.
+        """
         states = self._paths.get(dst_ip)
         if not states:
             return False
-        return all(state.congested_until > now for state in states)
+        return all(
+            state.state == STATE_QUARANTINED or state.congested_until > now
+            for state in states
+        )
 
     # ------------------------------------------------------------------
     @staticmethod
     def _normalize(states: List[_PathState]) -> None:
-        for state in states:
+        """Re-establish the invariant: selectable weights sum to 1.
+
+        Quarantined paths are pinned at zero and excluded; when *every*
+        path is quarantined there is nothing to normalize (selection falls
+        back to static hashing at the policy layer).
+        """
+        selectable = [s for s in states if s.state != STATE_QUARANTINED]
+        if not selectable:
+            return
+        for state in selectable:
             if state.weight < _MIN_WEIGHT:
                 state.weight = _MIN_WEIGHT
-        total = sum(state.weight for state in states)
-        for state in states:
+        total = sum(state.weight for state in selectable)
+        for state in selectable:
             state.weight /= total

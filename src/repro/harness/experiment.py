@@ -33,6 +33,7 @@ from repro.baselines.letflow import LetFlowSwitch
 from repro.baselines.presto import PrestoPolicy
 from repro.core.clove import CloveEcnPolicy, CloveIntPolicy, CloveParams, EdgeFlowletPolicy
 from repro.core.discovery import DiscoveryConfig, PathDiscovery
+from repro.core.health import HealthConfig, PathHealthMonitor
 from repro.hypervisor.host import Host
 from repro.hypervisor.policy import LoadBalancer, PathTrace
 from repro.metrics.collector import MetricsCollector
@@ -100,6 +101,14 @@ class ExperimentConfig:
     #: declarative fault schedule executed by a ChaosEngine; ``asymmetric``
     #: above is sugar for the single-cable plan and composes with this
     chaos: Optional[FaultPlan] = None
+    #: run a per-hypervisor PathHealthMonitor (policies that opt in via
+    #: ``wants_health``: the Clove variants with a weight table)
+    health: bool = False
+    #: health tuning; None = RTT-derived defaults
+    health_config: Optional[HealthConfig] = None
+    #: seconds a dead link lingers in switch ECMP groups before the
+    #: (modeled) routing agent repairs them; 0 = idealized instant failover
+    failover_delay_s: float = 0.0
 
     def fault_plan(self) -> Optional[FaultPlan]:
         """The effective fault plan: ``chaos`` merged with the
@@ -282,6 +291,9 @@ def run_experiment(
         topo = replace(topo, int_capable=True)
 
     net = build_leaf_spine(sim, rng, topo)
+    if config.failover_delay_s > 0.0:
+        for switch in net.switches.values():
+            switch.failover_delay = config.failover_delay_s
     rtt = estimate_rtt(topo)
     params = CloveParams(
         flowlet_gap=config.flowlet_gap_rtt * rtt,
@@ -322,6 +334,18 @@ def run_experiment(
         round_timeout=max(20 * rtt, 1e-3),
         probe_interval=1.0,
     )
+    health_cfg = config.health_config
+    if config.health and health_cfg is None:
+        # RTT-derived defaults: cheap enough to keep probe traffic in the
+        # noise (<5% engine overhead), fast enough to beat the failover
+        # window of any realistically-configured fabric.
+        health_cfg = HealthConfig(
+            probe_interval=max(250 * rtt, 5e-3),
+            probe_timeout=max(40 * rtt, 8e-4),
+            probation_window=max(500 * rtt, 10e-3),
+            rediscovery_backoff=max(250 * rtt, 5e-3),
+            rediscovery_max_backoff=max(4000 * rtt, 80e-3),
+        )
     hosts: Dict[str, Host] = {}
     for index, name in enumerate(sorted(net.hosts)):
         policy = _make_policy(config, rng, net, index, params)
@@ -337,6 +361,13 @@ def run_experiment(
                 sim, host, rng.stream(f"discovery-{name}"),
                 config=discovery_cfg, on_update=_on_update,
             )
+        if config.health and getattr(policy, "wants_health", False):
+            host.health = PathHealthMonitor(
+                sim, host, rng.stream(f"health-{name}"),
+                table=policy.weights, config=health_cfg,
+                prober=host.prober,
+            )
+            host.health.start()
         hosts[name] = host
 
     # ------------------------------------------------------------------

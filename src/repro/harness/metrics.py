@@ -46,6 +46,14 @@ METRIC_KEYS: Tuple[str, ...] = (
     "chaos_fault_window_s",
     "chaos_flushed_packets",
     "chaos_lost_packets",
+    # self-healing metrics (repro.chaos.metrics.health_from_result); all
+    # NaN when no path health monitor ran
+    "health_paths_quarantined",
+    "health_paths_restored",
+    "health_probes_sent",
+    "health_probes_lost",
+    "health_detection_latency_s",
+    "health_probation_s",
 )
 
 _NAN = float("nan")
@@ -59,7 +67,7 @@ def standard_metrics(result) -> Dict[str, float]:
     The ``chaos_*`` keys carry the recovery metrics of the run's fault
     plan (see :mod:`repro.chaos.metrics`) and are NaN on fault-free runs.
     """
-    from repro.chaos.metrics import recovery_from_result
+    from repro.chaos.metrics import health_from_result, recovery_from_result
 
     collector = result.collector
     summary = collector.summary()
@@ -67,6 +75,7 @@ def standard_metrics(result) -> Dict[str, float]:
     mice = collector.summary(max_size=int(MICE_CUTOFF_BYTES * scale))
     elephants = collector.summary(min_size=int(ELEPHANT_CUTOFF_BYTES * scale))
     recovery = recovery_from_result(result)
+    health = health_from_result(result)
     return {
         "avg_fct": summary.mean if summary else _NAN,
         "p50_fct": summary.p50 if summary else _NAN,
@@ -88,6 +97,18 @@ def standard_metrics(result) -> Dict[str, float]:
             float(recovery.flushed_packets) if recovery else _NAN
         ),
         "chaos_lost_packets": float(recovery.lost_packets) if recovery else _NAN,
+        "health_paths_quarantined": (
+            float(health.paths_quarantined) if health else _NAN
+        ),
+        "health_paths_restored": (
+            float(health.paths_restored) if health else _NAN
+        ),
+        "health_probes_sent": float(health.probes_sent) if health else _NAN,
+        "health_probes_lost": float(health.probes_lost) if health else _NAN,
+        "health_detection_latency_s": (
+            health.detection_latency_s if health else _NAN
+        ),
+        "health_probation_s": health.probation_s if health else _NAN,
     }
 
 

@@ -45,6 +45,8 @@ class Host:
         self._uplink = net.host_link(name)
         self._endpoints: Dict[FlowKey, object] = {}
         self.prober: Optional["PathDiscovery"] = None
+        #: path health monitor (repro.core.health); None = no self-healing
+        self.health = None
         self.rx_packets = 0
         #: telemetry scope shared with this host's transports (see
         #: :meth:`attach_telemetry`; None = uninstrumented)
@@ -55,6 +57,8 @@ class Host:
         """Bind this host (vswitch, policy, guest transports) to a scope."""
         self.telemetry = telemetry
         self.vswitch.attach_telemetry(telemetry)
+        if self.health is not None:
+            self.health.attach_telemetry(telemetry)
 
     # ------------------------------------------------------------------
     # Guest-side API
@@ -95,8 +99,14 @@ class Host:
             if "icmp" in meta and self.prober is not None:
                 self.prober.on_icmp(packet)
                 return
-            if "probe_reply" in meta and self.prober is not None:
-                self.prober.on_probe_reply(packet)
+            if "probe_reply" in meta:
+                # Probe ids are drawn from one shared counter; the health
+                # monitor claims its own replies, everything else belongs
+                # to the traceroute daemon.
+                claimed = (self.health is not None
+                           and self.health.on_probe_reply(packet))
+                if not claimed and self.prober is not None:
+                    self.prober.on_probe_reply(packet)
                 return
             if "probe" in meta:
                 self._answer_probe(packet)
@@ -112,11 +122,31 @@ class Host:
         """A traceroute probe reached us: confirm the full path to its
         sender (the equivalent of the final hop answering)."""
         key = probe.route_key
-        reply = Packet(FlowKey(self.ip, key.src_ip, 0, 0, 17), payload_bytes=28,
-                       created_at=self.sim.now)
+        sport = self._reply_sport(probe) if probe.meta.get("health") else 0
+        reply = Packet(FlowKey(self.ip, key.src_ip, sport, 0, 17),
+                       payload_bytes=28, created_at=self.sim.now)
         reply.meta["probe_reply"] = probe.meta["probe"]
         reply.meta["probe_sport"] = key.src_port
         self.nic_send(reply)
+
+    def _reply_sport(self, probe: Packet) -> int:
+        """Reverse-path choice for a health-probe reply.
+
+        A fixed reply source port would pin every reply onto one reverse
+        path, and a *dead* reverse path would then fail the prober's
+        forward paths wholesale (reverse-path false positives).  Replies
+        instead rotate over this host's own live (non-quarantined) ports
+        towards the prober — the destination's quarantine knowledge keeps
+        its replies off paths it already knows are dead — falling back to
+        a per-probe varied ephemeral port before discovery has run.
+        """
+        pid = probe.meta["probe"]
+        weights = getattr(self.vswitch.policy, "weights", None)
+        if weights is not None:
+            live = weights.live_ports_for(probe.route_key.src_ip)
+            if live:
+                return live[pid % len(live)]
+        return 49152 + (pid * 2654435761) % 16384
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Host({self.name}, ip={self.ip})"

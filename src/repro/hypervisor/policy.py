@@ -48,6 +48,9 @@ class LoadBalancer:
     #: whether the destination should measure one-way latency and reflect
     #: it back (the Section 7 NIC-timestamping alternative)
     wants_latency: bool = False
+    #: whether a :class:`~repro.core.health.PathHealthMonitor` should run
+    #: for this policy (requires a ``weights`` WeightedPathTable attribute)
+    wants_health: bool = False
     #: whether the receive side must run Presto-style flowcell reassembly
     needs_reassembly: bool = False
     #: bound event log of the attached telemetry scope (None = uninstrumented)

@@ -245,6 +245,13 @@ class VSwitch:
                 ),
                 self.sim.now,
             )
+            if self.host.health is not None:
+                # An echo about a path proves packets we sent on it made it
+                # to the remote: data-plane liveness between health probes.
+                self.host.health.on_echo(
+                    remote, packet.stt_echo_port,
+                    congested=packet.stt_echo_ecn,
+                )
 
         # (3) mask underlay ECN from the guest; inject ECE only when every
         # path to the remote is congested.

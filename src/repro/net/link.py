@@ -51,6 +51,10 @@ class Link:
         self.queue = queue if queue is not None else DropTailQueue()
         self.dre = dre if dre is not None else DiscountingRateEstimator(rate_bps)
         self.up = True
+        #: sim time of the most recent :meth:`fail` (-inf = never failed);
+        #: switches with a non-zero failover delay consult this to keep a
+        #: recently-dead link in their ECMP groups (stale hardware state)
+        self.down_since = float("-inf")
         self._busy = False
         self._receive: Optional[ReceiveFn] = None
         # Counters.
@@ -87,7 +91,11 @@ class Link:
         """
         events = self._tel_events
         if not self.up:
-            self.queue.stats.dropped += 1
+            meta = packet.meta
+            if "probe" in meta or "probe_reply" in meta or "icmp" in meta:
+                self.queue.stats.probe_dropped += 1
+            else:
+                self.queue.stats.dropped += 1
             if events is not None:
                 self._tel_drops.inc()
                 events.emit("switch.drop", self.sim.now,
@@ -142,6 +150,7 @@ class Link:
         (lost).  Emits a ``link.down`` telemetry event when instrumented,
         so fault timelines are recoverable from any event log."""
         self.up = False
+        self.down_since = self.sim.now
         flushed = 0
         while self.queue.dequeue(self.sim.now) is not None:
             self.queue.stats.dropped += 1
@@ -155,6 +164,7 @@ class Link:
     def recover(self) -> None:
         """Bring the link back up."""
         self.up = True
+        self.down_since = float("-inf")
         if self._tel_events is not None:
             self._tel_events.emit("link.up", self.sim.now, link=self.name)
         if not self.queue.is_empty and not self._busy:

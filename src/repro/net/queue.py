@@ -20,12 +20,18 @@ from repro.net.packet import Packet
 class QueueStats:
     """Counters exported by every queue (read by the metrics collector)."""
 
-    __slots__ = ("enqueued", "dropped", "ecn_marked", "dequeued",
-                 "peak_packets", "peak_bytes", "total_queue_delay")
+    __slots__ = ("enqueued", "dropped", "probe_dropped", "ecn_marked",
+                 "dequeued", "peak_packets", "peak_bytes",
+                 "total_queue_delay")
 
     def __init__(self) -> None:
         self.enqueued = 0
         self.dropped = 0
+        #: measurement traffic (traceroute/health probes and their replies)
+        #: discarded by a dead link — kept out of ``dropped`` so fault
+        #: blackhole accounting only counts losses that force data
+        #: retransmissions
+        self.probe_dropped = 0
         self.ecn_marked = 0
         self.dequeued = 0
         self.peak_packets = 0

@@ -52,6 +52,13 @@ class Switch:
         self.int_capable = int_capable
         #: dst_ip -> ordered ECMP group of egress links.
         self.routes: Dict[int, List[Link]] = {}
+        #: seconds a freshly-dead link stays in its ECMP groups before the
+        #: (modeled) routing agent repairs them.  0 = idealized instant
+        #: failover, the historical behavior; real fabrics take tens of
+        #: milliseconds to seconds, during which traffic hashed onto the
+        #: dead member is blackholed — the regime edge-based path health
+        #: monitoring (repro.core.health) exists to fix.
+        self.failover_delay = 0.0
         self.rx_packets = 0
         self.blackholed = 0
 
@@ -104,7 +111,18 @@ class Switch:
                                       switch=self.name, reason="no_route",
                                       dst=key.dst_ip)
             return
-        live = [link for link in group if link.up]
+        if self.failover_delay > 0.0:
+            # Stale-group window: a link that died less than failover_delay
+            # ago is still an ECMP member; packets hashed onto it are
+            # dropped at the link (counted on its queue, so chaos blackhole
+            # accounting attributes them to the dead cable).
+            horizon = self.sim.now - self.failover_delay
+            live = [
+                link for link in group
+                if link.up or link.down_since > horizon
+            ]
+        else:
+            live = [link for link in group if link.up]
         if not live:
             self.blackholed += 1
             if self._tel_events is not None:

@@ -29,7 +29,10 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 #: line format changes in a way that makes old cached results stale.
 #: v2: chaos_* recovery metrics joined the standard payload and
 #: ``ExperimentConfig`` grew the ``chaos`` fault-plan field.
-SCHEMA_VERSION = 2
+#: v3: health_* self-healing metrics joined the payload and
+#: ``ExperimentConfig`` grew ``health``/``health_config``/
+#: ``failover_delay_s``.
+SCHEMA_VERSION = 3
 
 #: the kinds of work the runner knows how to execute
 JOB_KINDS = ("experiment", "incast")
@@ -99,6 +102,7 @@ class JobSpec:
                 f"{config.scheme} load={config.load:g} seed={config.seed}"
                 + (" asym" if config.asymmetric else "")
                 + (" chaos" if getattr(config, "chaos", None) else "")
+                + (" health" if getattr(config, "health", False) else "")
             )
         return JobSpec(kind="experiment", config=config, label=label)
 
@@ -133,5 +137,7 @@ class JobSpec:
             chaos = getattr(self.config, "chaos", None)
             if chaos:
                 info["chaos"] = chaos.describe()
+            if getattr(self.config, "health", False):
+                info["health"] = True
             return info
         return dict(self.params)

@@ -149,6 +149,24 @@ class Telemetry:
                 reg.counter("clove.weight_reductions", **labels).set_total(
                     weights.weight_reductions
                 )
+                reg.counter("weights.unknown_port", **labels).set_total(
+                    weights.unknown_ports
+                )
+            health = getattr(host, "health", None)
+            if health is not None:
+                reg.counter("health.probes_sent", **labels).set_total(health.probes_sent)
+                reg.counter("health.probes_suppressed", **labels).set_total(
+                    health.probes_suppressed
+                )
+                reg.counter("health.probes_lost", **labels).set_total(health.probes_lost)
+                reg.counter("health.quarantines", **labels).set_total(health.quarantines)
+                reg.counter("health.restores", **labels).set_total(health.restores)
+                reg.counter("health.suspect_events", **labels).set_total(
+                    health.suspect_events
+                )
+                reg.gauge("health.quarantined_paths", **labels).set(
+                    health.quarantined_now()
+                )
             for endpoint in getattr(host, "_endpoints", {}).values():
                 if hasattr(endpoint, "fast_retransmits"):  # a TCP sender
                     totals["tcp.fast_retransmits"] += endpoint.fast_retransmits

@@ -138,3 +138,52 @@ class TestPathDiscovery:
         assert selection == [
             (p, t) for p, t in zip(*updates["h1_0"][dst])
         ]
+
+
+class TestRoundLifecycle:
+    """Hard per-round deadlines: a mid-round link failure flushes probes,
+    but the round must still resolve and the reprobe chain stay alive."""
+
+    def test_link_down_mid_round_resolves_without_deadlock(self):
+        sim, net, hosts, updates = _fabric_with_probers(probe_interval=0.05)
+        dst = net.host_ip("h2_0")
+        prober = hosts["h1_0"].prober
+        prober.notice_destination(dst)
+        assert prober.round_in_flight(dst)
+        sim.run(until=0.0002)          # mid-round: probes still pacing out
+        net.fail_cable("L2", "S2", 0)  # flushes queued probes, kills replies
+        sim.run(until=0.01)
+        # The deadline fired: the round resolved despite the lost probes.
+        assert not prober.round_in_flight(dst)
+        assert prober.rounds_completed >= 1
+        # The periodic reprobe chain survived the mid-round failure...
+        completed = prober.rounds_completed
+        sim.run(until=0.08)
+        assert prober.rounds_completed > completed
+        # ...and the refreshed mapping routes around the dead cable.
+        _ports, traces = updates["h1_0"][dst]
+        assert traces
+        assert all("S2->L2#0" not in trace for trace in traces)
+
+    def test_start_round_is_single_flight(self):
+        sim, net, hosts, _updates = _fabric_with_probers()
+        dst = net.host_ip("h2_0")
+        prober = hosts["h1_0"].prober
+        assert prober.start_round(dst)
+        assert not prober.start_round(dst)   # already in flight
+        sim.run(until=0.01)
+        assert not prober.round_in_flight(dst)
+        assert prober.start_round(dst)       # resolved rounds can restart
+
+    def test_cancel_round_rearms_watched_destinations(self):
+        sim, net, hosts, updates = _fabric_with_probers(probe_interval=0.01)
+        dst = net.host_ip("h2_0")
+        prober = hosts["h1_0"].prober
+        prober.notice_destination(dst)
+        assert prober.cancel_round(dst)
+        assert not prober.round_in_flight(dst)
+        assert not prober.cancel_round(dst)  # nothing left to cancel
+        # A cancelled round must not kill discovery: the reprobe fires.
+        sim.run(until=0.05)
+        assert prober.rounds_completed >= 1
+        assert dst in updates.get("h1_0", {})

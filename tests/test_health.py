@@ -1,0 +1,377 @@
+"""Tests for repro.core.health: the self-healing control loop.
+
+Covers monitor wiring (opt-in via ``wants_health``, disabled by default),
+fault detection and quarantine under a persistent cable failure, graduated
+probation restore after the cable heals, the guest-transparency guarantee
+(every job completes despite a dead path), offline/in-process health-metric
+parity, serial/parallel determinism with the monitor enabled, and the
+headline pinned regression: under single-cable chaos with a realistic
+routing-repair lag, Clove-ECN *with* the monitor recovers strictly faster
+and blackholes strictly fewer packets than without it.
+"""
+
+import math
+
+import pytest
+
+from repro.chaos import (
+    flap,
+    health_from_records,
+    health_from_result,
+    recovery_from_result,
+    single_cable,
+)
+from repro.core.health import HealthConfig, PathHealthMonitor
+from repro.core.weights import STATE_QUARANTINED
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.metrics import standard_metrics
+from repro.runner import JobSpec, RunnerConfig, run_jobs
+from repro.telemetry import Telemetry, load_jsonl
+
+
+def _metrics_equal(a, b) -> bool:
+    """Bit-exact dict equality where NaN == NaN."""
+    if set(a) != set(b):
+        return False
+    for key, value in a.items():
+        other = b[key]
+        if isinstance(value, float) and math.isnan(value):
+            if not (isinstance(other, float) and math.isnan(other)):
+                return False
+        elif value != other:
+            return False
+    return True
+
+
+#: fast-detection tuning for chaos scenarios (the RTT-derived defaults are
+#: deliberately conservative; tests compress the timeline instead of the
+#: simulated fabric)
+FAST = HealthConfig(
+    probe_interval=1e-3,
+    probe_timeout=1.2e-3,
+    probation_window=2e-3,
+    rediscovery_backoff=2e-3,
+    rediscovery_max_backoff=16e-3,
+)
+
+
+def _small(**overrides) -> ExperimentConfig:
+    defaults = dict(
+        scheme="clove-ecn",
+        load=0.3,
+        seed=2,
+        jobs_per_client=60,
+        clients_per_leaf=2,
+        connections_per_client=2,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Wiring: opt-in, defaults, metric visibility
+# ----------------------------------------------------------------------
+class TestMonitorWiring:
+    def test_disabled_by_default(self):
+        result = run_experiment(_small(jobs_per_client=4))
+        assert all(host.health is None for host in result.hosts.values())
+        assert health_from_result(result) is None
+        metrics = standard_metrics(result)
+        assert math.isnan(metrics["health_paths_quarantined"])
+        assert math.isnan(metrics["health_detection_latency_s"])
+
+    def test_policies_without_a_path_table_opt_out(self):
+        result = run_experiment(_small(scheme="ecmp", jobs_per_client=4,
+                                       health=True))
+        assert all(host.health is None for host in result.hosts.values())
+
+    def test_enabled_clove_hosts_get_a_monitor(self):
+        result = run_experiment(_small(jobs_per_client=4, health=True))
+        monitors = [h.health for h in result.hosts.values()
+                    if h.health is not None]
+        assert monitors
+        assert all(isinstance(m, PathHealthMonitor) for m in monitors)
+
+    def test_start_is_idempotent(self):
+        result = run_experiment(_small(jobs_per_client=4, health=True))
+        monitor = next(h.health for h in result.hosts.values()
+                       if h.health is not None)
+        sent = monitor.probes_sent
+        monitor.start()  # second call must not double the probe cycle
+        assert monitor.probes_sent == sent
+
+    def test_health_changes_the_job_fingerprint(self):
+        base = JobSpec.experiment(_small()).fingerprint
+        enabled = JobSpec.experiment(_small(health=True)).fingerprint
+        tuned = JobSpec.experiment(
+            _small(health=True, health_config=FAST)).fingerprint
+        assert len({base, enabled, tuned}) == 3
+        assert "health" in JobSpec.experiment(_small(health=True)).label
+
+
+# ----------------------------------------------------------------------
+# Detection and quarantine under a persistent fault
+# ----------------------------------------------------------------------
+class TestQuarantine:
+    @pytest.fixture(scope="class")
+    def persistent_fault(self):
+        """One cable dies at t=10ms and never heals; routing repair is
+        slower than the run, so only the monitor can save traffic."""
+        return run_experiment(_small(
+            chaos=single_cable(time=0.01),
+            failover_delay_s=1.0,
+            health=True,
+            health_config=FAST,
+        ))
+
+    def test_dead_paths_are_quarantined(self, persistent_fault):
+        report = health_from_result(persistent_fault)
+        assert report.paths_quarantined > 0
+        assert report.probes_lost > 0
+        assert report.suspect_events > 0
+
+    def test_detection_is_prompt(self, persistent_fault):
+        report = health_from_result(persistent_fault)
+        # dead_after=3 losses at a 1 ms probe interval: well under 10 ms.
+        assert 0.0 < report.detection_latency_s < 0.01
+
+    def test_quarantine_is_guest_transparent(self, persistent_fault):
+        collector = persistent_fault.collector
+        assert len(collector.completed()) == len(collector.jobs)
+
+    def test_quarantined_weights_leave_the_table_normalized(
+            self, persistent_fault):
+        for host in persistent_fault.hosts.values():
+            if host.health is None:
+                continue
+            table = host.health.table
+            for dst in table.destinations():
+                weights = table.weights_for(dst)
+                quarantined = [
+                    port for port, state in table.path_states(dst)
+                    if state == STATE_QUARANTINED
+                ]
+                for port in quarantined:
+                    assert weights[port] == 0.0
+                if table.has_live_paths(dst):
+                    assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_markers_record_quarantines(self, persistent_fault):
+        markers = [
+            marker
+            for host in persistent_fault.hosts.values()
+            if host.health is not None
+            for marker in host.health.markers
+        ]
+        assert any(m.action == "quarantine" for m in markers)
+        assert all(m.time >= 0.01 for m in markers
+                   if m.action == "quarantine")
+
+    def test_standard_metrics_surface_health(self, persistent_fault):
+        metrics = standard_metrics(persistent_fault)
+        assert metrics["health_paths_quarantined"] > 0
+        assert metrics["health_probes_sent"] > 0
+        assert 0.0 < metrics["health_detection_latency_s"] < 0.01
+
+
+# ----------------------------------------------------------------------
+# Recovery: graduated probation restore after the cable heals
+# ----------------------------------------------------------------------
+class TestRecovery:
+    def test_restore_through_probation_after_flap(self):
+        result = run_experiment(_small(
+            jobs_per_client=250,
+            chaos=flap(start=0.01, period=0.015, downtime=0.012, flaps=1),
+            failover_delay_s=1.0,
+            health=True,
+            health_config=FAST,
+        ))
+        report = health_from_result(result)
+        assert report.paths_quarantined > 0
+        assert report.paths_restored > 0
+        # Two probation stages at probation_window=2 ms each.
+        assert report.probation_s == pytest.approx(4e-3, rel=0.5)
+        restored = [
+            marker
+            for host in result.hosts.values()
+            if host.health is not None
+            for marker in host.health.markers
+            if marker.action == "restore"
+        ]
+        assert restored
+        assert all(m.probation_s > 0 for m in restored)
+
+    def test_all_paths_quarantined_falls_back_without_crashing(self):
+        """Zero survivors: the policy must fall back to static hashing
+        (and the all-congested ECE rule throttles the guest) rather than
+        raising out of the vswitch."""
+        result = run_experiment(_small(jobs_per_client=4, health=True))
+        host = next(h for h in result.hosts.values() if h.health is not None)
+        table = host.health.table
+        dst = table.destinations()[0]
+        for port in list(table.ports_for(dst)):
+            table.quarantine(dst, port)
+        assert not table.has_live_paths(dst)
+        assert table.all_congested(dst, now=host.sim.now)
+        with pytest.raises(KeyError):
+            table.next_port(dst)
+        # The policy's selection path must still produce a port.
+        from repro.net.packet import FlowKey, Packet
+        policy = host.vswitch.policy
+        key = FlowKey(host.ip, dst, 40000, 80)
+        packet = Packet(key, payload_bytes=1000, created_at=host.sim.now)
+        assert policy.select_source_port(key, packet, now=host.sim.now) >= 0
+
+
+# ----------------------------------------------------------------------
+# Healthy fabric: the monitor must not distort a fault-free run
+# ----------------------------------------------------------------------
+class TestHealthyFabric:
+    def test_no_quarantines_and_completion_parity(self):
+        baseline = run_experiment(_small(jobs_per_client=250,
+                                         connections_per_client=3))
+        monitored = run_experiment(_small(jobs_per_client=250,
+                                          connections_per_client=3,
+                                          health=True))
+        report = health_from_result(monitored)
+        assert report.paths_quarantined == 0
+        assert report.paths_restored == 0
+        assert report.probes_sent > 0
+        assert (len(monitored.collector.completed())
+                == len(baseline.collector.completed()))
+        # Probe traffic perturbs packet timing, so FCTs are not
+        # bit-identical — but the distribution must stay in the same
+        # place (seed-to-seed variance at this scale is ~5%).
+        assert monitored.avg_fct == pytest.approx(baseline.avg_fct, rel=0.10)
+
+
+# ----------------------------------------------------------------------
+# Offline parity: artifact-derived health metrics match in-process ones
+# ----------------------------------------------------------------------
+class TestOfflineParity:
+    def test_health_from_records_matches_in_process(self, tmp_path):
+        telemetry = Telemetry()
+        result = run_experiment(
+            _small(chaos=single_cable(time=0.01), failover_delay_s=1.0,
+                   health=True, health_config=FAST),
+            telemetry=telemetry,
+        )
+        live = health_from_result(result)
+        path = tmp_path / "run.jsonl"
+        telemetry.export_jsonl(str(path))
+        dump = load_jsonl(str(path))
+        offline = health_from_records(dump["events"], dump["counters"])
+        assert offline is not None
+        assert offline.paths_quarantined == live.paths_quarantined
+        assert offline.paths_restored == live.paths_restored
+        assert offline.suspect_events == live.suspect_events
+        assert offline.probes_sent == live.probes_sent
+        assert offline.probes_lost == live.probes_lost
+        assert offline.detection_latency_s == pytest.approx(
+            live.detection_latency_s)
+
+    def test_no_health_events_yield_none(self):
+        assert health_from_records([], {}) is None
+
+    def test_telemetry_scrapes_health_counters(self):
+        telemetry = Telemetry()
+        result = run_experiment(
+            _small(jobs_per_client=4, health=True, health_config=FAST),
+            telemetry=telemetry,
+        )
+        snapshot = telemetry.snapshot()
+        sent = sum(
+            value for name, value in snapshot["counters"].items()
+            if name.startswith("health.probes_sent")
+        )
+        assert sent == sum(
+            host.health.probes_sent for host in result.hosts.values()
+            if host.health is not None
+        )
+        assert sent > 0
+
+
+# ----------------------------------------------------------------------
+# Determinism: health + chaos runs are bit-identical serial vs parallel
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_serial_and_parallel_health_runs_agree(self):
+        specs = [
+            JobSpec.experiment(_small(
+                jobs_per_client=10,
+                chaos=single_cable(time=0.01),
+                failover_delay_s=1.0,
+                health=True,
+                health_config=FAST,
+                seed=seed,
+            ))
+            for seed in (2, 3)
+        ]
+        serial = run_jobs(specs, runner=RunnerConfig(jobs=1, progress=False))
+        parallel = run_jobs(specs, runner=RunnerConfig(jobs=2, progress=False))
+        for s, p in zip(serial, parallel):
+            assert _metrics_equal(s.metrics, p.metrics)
+        assert serial[0].metrics["health_paths_quarantined"] > 0
+
+
+# ----------------------------------------------------------------------
+# The pinned regression: self-healing beats routing-repair lag
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def pinned_comparison():
+    """Clove-ECN under single-cable chaos with a 90 ms routing-repair lag,
+    with and without the health monitor.  Arrivals continue well past the
+    repair horizon so goodput-based time-to-recover is measurable."""
+    results = {}
+    for health in (False, True):
+        config = ExperimentConfig(
+            scheme="clove-ecn",
+            load=0.4,
+            seed=3,
+            jobs_per_client=1400,
+            clients_per_leaf=2,
+            connections_per_client=3,
+            chaos=single_cable(time=0.05),
+            failover_delay_s=0.09,
+            health=health,
+            health_config=FAST if health else None,
+        )
+        result = run_experiment(config)
+        results[health] = {
+            "result": result,
+            "recovery": recovery_from_result(result, bin_width=6e-3),
+            "health": health_from_result(result),
+        }
+    return results
+
+
+class TestPinnedSelfHealing:
+    def test_health_recovers_strictly_faster(self, pinned_comparison):
+        ttr_none = pinned_comparison[False]["recovery"].time_to_recover_s
+        ttr_health = pinned_comparison[True]["recovery"].time_to_recover_s
+        assert not math.isnan(ttr_none)
+        assert not math.isnan(ttr_health)
+        assert ttr_health < ttr_none
+
+    def test_health_blackholes_strictly_fewer_packets(self, pinned_comparison):
+        dropped_none = pinned_comparison[False]["recovery"].blackholed_packets
+        dropped_health = pinned_comparison[True]["recovery"].blackholed_packets
+        assert 0 < dropped_health < dropped_none
+
+    def test_health_improves_flow_completion(self, pinned_comparison):
+        assert (pinned_comparison[True]["result"].avg_fct
+                < pinned_comparison[False]["result"].avg_fct)
+
+    def test_completion_parity(self, pinned_comparison):
+        completed = {
+            health: len(entry["result"].collector.completed())
+            for health, entry in pinned_comparison.items()
+        }
+        jobs = len(pinned_comparison[True]["result"].collector.jobs)
+        assert completed[True] == completed[False] == jobs
+
+    def test_monitor_acted(self, pinned_comparison):
+        report = pinned_comparison[True]["health"]
+        assert report.paths_quarantined > 0
+        assert report.paths_restored > 0
+        assert 0.0 < report.detection_latency_s < 0.01

@@ -88,11 +88,15 @@ class TestCongestionAdaptation:
             table.mark_congested(DST, PORTS[0], now=0.0)
         assert table.weights_for(DST)[PORTS[0]] > 0
 
-    def test_mark_unknown_port_is_noop(self):
+    def test_mark_unknown_port_raises_and_counts(self):
         table = _table()
         before = table.weights_for(DST)
-        table.mark_congested(DST, 9999, now=0.0)
+        with pytest.raises(KeyError, match="unknown port 9999"):
+            table.mark_congested(DST, 9999, now=0.0)
         assert table.weights_for(DST) == before
+        with pytest.raises(KeyError, match="unknown destination"):
+            table.mark_congested(777, PORTS[0], now=0.0)
+        assert table.unknown_ports == 2
 
     def test_invalid_reduction_factor(self):
         with pytest.raises(ValueError):
@@ -152,3 +156,86 @@ class TestPathRemapping:
         table = WeightedPathTable()
         with pytest.raises(ValueError):
             table.set_paths(DST, [])
+
+
+class TestQuarantineLifecycle:
+    def test_quarantine_zeroes_weight_and_respreads(self):
+        table = _table()
+        assert table.quarantine(DST, PORTS[0]) is True
+        weights = table.weights_for(DST)
+        assert weights[PORTS[0]] == 0.0
+        assert sum(weights.values()) == pytest.approx(1.0)
+        for port in PORTS[1:]:
+            assert weights[port] == pytest.approx(1.0 / 3.0)
+        assert table.state_of(DST, PORTS[0]) == "quarantined"
+        assert table.quarantined_total == 1
+
+    def test_quarantine_is_idempotent(self):
+        table = _table()
+        assert table.quarantine(DST, PORTS[0]) is True
+        assert table.quarantine(DST, PORTS[0]) is False
+        assert table.quarantined_total == 1
+
+    def test_quarantine_unknown_path_raises(self):
+        table = _table()
+        with pytest.raises(KeyError):
+            table.quarantine(DST, 9999)
+        with pytest.raises(KeyError):
+            table.quarantine(777, PORTS[0])
+
+    def test_next_port_never_picks_quarantined(self):
+        table = _table()
+        table.quarantine(DST, PORTS[0])
+        picks = Counter(table.next_port(DST) for _ in range(300))
+        assert PORTS[0] not in picks
+        assert set(picks) == set(PORTS[1:])
+
+    def test_all_quarantined_raises_no_live_paths(self):
+        table = _table()
+        for port in PORTS:
+            table.quarantine(DST, port)
+        assert table.has_live_paths(DST) is False
+        assert table.live_ports_for(DST) == []
+        with pytest.raises(KeyError, match="no live paths"):
+            table.next_port(DST)
+        # ...and the all-congested ECE rule engages regardless of echoes.
+        assert table.all_congested(DST, now=0.0) is True
+
+    def test_probation_weight_is_a_fraction_of_uniform(self):
+        table = _table()
+        table.quarantine(DST, PORTS[0])
+        assert table.begin_probation(DST, PORTS[0], 0.1) is True
+        weights = table.weights_for(DST)
+        # 10% of the uniform share over 4 selectable paths, renormalized.
+        assert weights[PORTS[0]] == pytest.approx(0.025 / 1.000, rel=0.2)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert table.state_of(DST, PORTS[0]) == "probation"
+
+    def test_promote_restores_full_membership(self):
+        table = _table()
+        table.quarantine(DST, PORTS[0])
+        table.begin_probation(DST, PORTS[0], 0.1)
+        assert table.promote(DST, PORTS[0]) is True
+        assert table.promote(DST, PORTS[0]) is False  # already live
+        weights = table.weights_for(DST)
+        assert sum(weights.values()) == pytest.approx(1.0)
+        assert table.state_of(DST, PORTS[0]) == "live"
+        assert table.restored_total == 1
+        picks = Counter(table.next_port(DST) for _ in range(400))
+        assert picks[PORTS[0]] > 0
+
+    def test_echo_for_quarantined_path_keeps_weight_zero(self):
+        table = _table()
+        table.quarantine(DST, PORTS[0])
+        table.mark_congested(DST, PORTS[0], now=0.0)
+        assert table.weights_for(DST)[PORTS[0]] == 0.0
+        assert sum(table.weights_for(DST).values()) == pytest.approx(1.0)
+
+    def test_quarantine_state_survives_remapping_by_trace(self):
+        table = _table()
+        table.quarantine(DST, PORTS[0])
+        new_ports = [6001, 6002, 6003, 6004]
+        table.set_paths(DST, new_ports, TRACES)
+        assert table.state_of(DST, 6001) == "quarantined"
+        assert table.weights_for(DST)[6001] == 0.0
+        assert table.has_live_paths(DST)
