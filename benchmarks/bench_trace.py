@@ -1,0 +1,111 @@
+"""Tracer overhead benchmark: records wall times to BENCH_trace.json.
+
+Runs the same experiment point three ways and appends a record to
+``benchmarks/BENCH_trace.json``::
+
+    {"recorded_unix": ..., "git_rev": "...",
+     "plain_s": 4.1, "off_s": 4.2, "on_s": 4.6,
+     "disabled_overhead_pct": 1.1, "enabled_overhead_pct": 9.8,
+     "within_target": true}
+
+* **plain** — no telemetry scope at all (the hot-path baseline);
+* **off** — telemetry attached but the tracer disabled
+  (``Telemetry(trace=False)``): what every telemetry user pays for the
+  tracing *hooks* even when not tracing;
+* **on** — full span recording.
+
+The gate contract is on the *disabled* cost: attaching telemetry with
+tracing off must stay < 5% over plain (the ``_tel_trace is None`` checks
+on the vswitch/policy/health hot paths are all it adds).  The enabled
+cost is recorded for visibility but not gated — recording spans does real
+work by design.  Not a pytest benchmark — invoke directly::
+
+    PYTHONPATH=src python benchmarks/bench_trace.py [--repeats 3] [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.metrics import standard_metrics
+from repro.telemetry import Telemetry
+from repro.telemetry.core import git_revision
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_trace.json"
+
+
+def _config(full: bool) -> ExperimentConfig:
+    if full:
+        return ExperimentConfig(scheme="clove-ecn", load=0.7,
+                                jobs_per_client=60)
+    return ExperimentConfig(scheme="clove-ecn", load=0.5, jobs_per_client=20,
+                            clients_per_leaf=2, connections_per_client=1)
+
+
+def _time_run(full: bool, repeats: int,
+              telemetry_factory=None) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        tel: Optional[Telemetry] = (
+            telemetry_factory() if telemetry_factory is not None else None)
+        start = time.perf_counter()
+        standard_metrics(run_experiment(_config(full), telemetry=tel))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(repeats: int, full: bool) -> dict:
+    """Time plain vs tracer-off vs tracer-on; return the benchmark record."""
+    plain_s = _time_run(full, repeats)
+    off_s = _time_run(full, repeats, lambda: Telemetry(trace=False))
+    on_s = _time_run(full, repeats, Telemetry)
+    disabled = (off_s - plain_s) / plain_s * 100.0 if plain_s else 0.0
+    enabled = (on_s - plain_s) / plain_s * 100.0 if plain_s else 0.0
+    return {
+        "recorded_unix": time.time(),
+        "git_rev": git_revision(),
+        "repeats": repeats,
+        "full": full,
+        "plain_s": round(plain_s, 3),
+        "off_s": round(off_s, 3),
+        "on_s": round(on_s, 3),
+        "disabled_overhead_pct": round(disabled, 2),
+        "enabled_overhead_pct": round(enabled, 2),
+        "within_target": disabled < 5.0,
+    }
+
+
+def _append(path: Path, record: dict) -> None:
+    history = []
+    if path.exists():
+        history = json.loads(path.read_text())
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def main() -> int:
+    """CLI entry: run the benchmark and append its record to BENCH_trace.json."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per variant (best-of wins)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-ish per-point cost instead of CI-sized")
+    args = parser.parse_args()
+
+    record = run(args.repeats, args.full)
+    _append(RESULTS_PATH, record)
+    print(json.dumps(record, indent=2))
+    if not record["within_target"]:
+        print(f"WARNING: disabled-tracer overhead "
+              f"{record['disabled_overhead_pct']}% exceeds the 5% target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,4 +27,8 @@ class EcmpPolicy(LoadBalancer):
         if port is None:
             port = _PORT_LO + self._hasher.select(inner, _PORT_SPAN)
             self._cache[inner] = port
+            # One sticky "flowlet" per flow: ECMP never re-decides, but
+            # recording the single decision gives traces a per-path
+            # residency baseline to compare adaptive schemes against.
+            self._emit_flowlet(inner, port, now, trigger="hash")
         return port

@@ -118,6 +118,10 @@ class ChaosEngine:
             tel.events.emit("chaos.inject", now, **{
                 k: v for k, v in marker.items() if k != "time"
             })
+            if tel.trace.enabled:
+                tel.trace.instant("chaos", event.action, now, **{
+                    k: v for k, v in marker.items() if k != "time"
+                })
 
     # ------------------------------------------------------------------
     # Analysis

@@ -8,6 +8,9 @@ Subcommands:
 * ``incast``    — the Figure 7 fan-in experiment;
 * ``schemes``   — list the available load-balancing schemes;
 * ``telemetry`` — inspect a ``--telemetry-out`` JSONL artifact;
+* ``trace``     — analyze the causal flow/flowlet/path spans inside a
+  telemetry artifact (summary, per-flow trees, path residency, slowest
+  reaction chains, A/B diffs, Chrome/Perfetto export);
 * ``cache``     — list or clear a ``--cache-dir`` result cache;
 * ``chaos``     — list/show fault-plan presets, or recompute recovery
   metrics offline from a telemetry artifact.
@@ -34,14 +37,27 @@ from repro.harness.experiment import ExperimentConfig, SCHEMES
 from repro.harness.report import render_bar_chart, render_cdf, render_table
 from repro.harness.sweep import sweep_loads
 from repro.runner import JobSpec, ResultCache, RunnerConfig, run_jobs
-from repro.telemetry import Telemetry, load_jsonl
+from repro.telemetry import Telemetry, load_jsonl, open_text
 from repro.telemetry.render import render_dump
+from repro.telemetry.trace import (
+    TraceView,
+    export_chrome,
+    render_critical,
+    render_diff,
+    render_flow,
+    render_paths,
+    render_summary,
+)
 
 
 def _add_telemetry_opts(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--telemetry-out", metavar="FILE", default=None,
                         help="write a telemetry artifact (JSONL) to FILE; "
                              "inspect it with `repro telemetry FILE`")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write the run's causal spans as Chrome "
+                             "trace-event JSON to FILE (implies telemetry; "
+                             "open in Perfetto or chrome://tracing)")
     parser.add_argument("--profile", action="store_true",
                         help="profile the simulator loop (implies telemetry; "
                              "summary printed to stderr; per-worker profiles "
@@ -70,17 +86,20 @@ def _make_runner(args, progress: bool = True) -> RunnerConfig:
 def _make_telemetry(args) -> Optional[Telemetry]:
     """Build the telemetry scope a subcommand asked for (or None).
 
-    Fails fast (exit 2) when ``--telemetry-out`` is unwritable, instead of
-    discovering that after minutes of simulation.
+    Fails fast (exit 2) when ``--telemetry-out`` / ``--trace-out`` is
+    unwritable, instead of discovering that after minutes of simulation.
     """
-    if args.telemetry_out is None and not args.profile:
+    trace_out = getattr(args, "trace_out", None)
+    if args.telemetry_out is None and trace_out is None and not args.profile:
         return None
-    if args.telemetry_out is not None:
+    for path in (args.telemetry_out, trace_out):
+        if path is None:
+            continue
         try:
-            with open(args.telemetry_out, "w", encoding="utf-8"):
+            with open_text(path, "w"):
                 pass
         except OSError as exc:
-            print(f"cannot write {args.telemetry_out!r}: {exc}", file=sys.stderr)
+            print(f"cannot write {path!r}: {exc}", file=sys.stderr)
             raise SystemExit(2)
     return Telemetry(profile=args.profile)
 
@@ -92,6 +111,11 @@ def _finish_telemetry(tel: Optional[Telemetry], args) -> None:
     if args.telemetry_out is not None:
         tel.export_jsonl(args.telemetry_out)
         print(f"telemetry written to {args.telemetry_out}", file=sys.stderr)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is not None:
+        n = export_chrome(tel.trace.view(), trace_out)
+        print(f"chrome trace ({n} events) written to {trace_out}",
+              file=sys.stderr)
     if tel.profiler is not None:
         print(tel.profiler.format_summary(), file=sys.stderr)
 
@@ -327,6 +351,44 @@ def cmd_telemetry(args) -> int:
     return 0
 
 
+def _load_trace_view(path: str) -> TraceView:
+    """TraceView from a ``--telemetry-out`` artifact (exits 1 on failure)."""
+    try:
+        dump = load_jsonl(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(1)
+    view = TraceView.from_records(dump["spans"], dump.get("spans_dropped", 0))
+    if not view.scopes():
+        print(f"{path}: no trace spans found (was the run recorded with "
+              "--telemetry-out and tracing enabled?)", file=sys.stderr)
+        raise SystemExit(1)
+    return view
+
+
+def cmd_trace(args) -> int:
+    """Handle ``repro trace``: offline analysis of causal span artifacts."""
+    if args.trace_command == "diff":
+        view_a = _load_trace_view(args.file_a)
+        view_b = _load_trace_view(args.file_b)
+        print(render_diff(view_a, view_b,
+                          label_a=args.file_a, label_b=args.file_b))
+        return 0
+    view = _load_trace_view(args.file)
+    if args.trace_command == "summary":
+        print(render_summary(view))
+    elif args.trace_command == "flow":
+        print(render_flow(view, args.flow_id))
+    elif args.trace_command == "paths":
+        print(render_paths(view))
+    elif args.trace_command == "critical":
+        print(render_critical(view, top=args.top))
+    else:  # chrome
+        n = export_chrome(view, args.out)
+        print(f"chrome trace ({n} events) written to {args.out}")
+    return 0
+
+
 def cmd_chaos(args) -> int:
     """Handle ``repro chaos``: presets, plan dumps, offline reports."""
     from repro.chaos.metrics import (
@@ -446,6 +508,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_tel.add_argument("--sample", type=int, default=8,
                        help="sample events to print per section")
     p_tel.set_defaults(fn=cmd_telemetry)
+
+    p_trace = sub.add_parser(
+        "trace", help="analyze causal flow/flowlet/path spans from a "
+                      "--telemetry-out artifact")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_tsum = trace_sub.add_parser("summary",
+                                  help="per-run span/flow/reaction overview")
+    p_tsum.add_argument("file", help="JSONL file written by --telemetry-out")
+    p_tsum.set_defaults(fn=cmd_trace)
+    p_tflow = trace_sub.add_parser(
+        "flow", help="print one flow's causal tree (flowlets, TCP events)")
+    p_tflow.add_argument("file", help="JSONL file written by --telemetry-out")
+    p_tflow.add_argument("flow_id",
+                         help="flow span id: '<run-prefix>:<sid>' as printed "
+                              "by `trace summary`, or a bare sid when the "
+                              "artifact holds a single run")
+    p_tflow.set_defaults(fn=cmd_trace)
+    p_tpaths = trace_sub.add_parser(
+        "paths", help="path residency table (bytes/flowlets/seconds per path)")
+    p_tpaths.add_argument("file", help="JSONL file written by --telemetry-out")
+    p_tpaths.set_defaults(fn=cmd_trace)
+    p_tcrit = trace_sub.add_parser(
+        "critical", help="slowest congestion reaction chains and outages")
+    p_tcrit.add_argument("file", help="JSONL file written by --telemetry-out")
+    p_tcrit.add_argument("--top", type=int, default=10,
+                         help="how many chains to print")
+    p_tcrit.set_defaults(fn=cmd_trace)
+    p_tdiff = trace_sub.add_parser(
+        "diff", help="compare path-residency shifts between two artifacts "
+                     "(e.g. clove-ecn vs ecmp under the same fault plan)")
+    p_tdiff.add_argument("file_a", help="first telemetry artifact")
+    p_tdiff.add_argument("file_b", help="second telemetry artifact")
+    p_tdiff.set_defaults(fn=cmd_trace)
+    p_tchrome = trace_sub.add_parser(
+        "chrome", help="export spans as Chrome trace-event JSON "
+                       "(open in Perfetto or chrome://tracing)")
+    p_tchrome.add_argument("file", help="JSONL file written by --telemetry-out")
+    p_tchrome.add_argument("out", help="output .json (or .json.gz) path")
+    p_tchrome.set_defaults(fn=cmd_trace)
 
     p_chaos = sub.add_parser("chaos", help="fault-plan presets and reports")
     chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)

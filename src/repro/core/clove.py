@@ -113,7 +113,7 @@ class EdgeFlowletPolicy(_FlowletPolicyBase):
         else:
             choice = self.rng.randrange(_PORT_LO, _PORT_LO + _PORT_SPAN)
         self.flowlets.assign(inner, choice, now)
-        self._emit_flowlet(inner, choice, now)
+        self._emit_flowlet(inner, choice, now, trigger="random")
         return choice
 
 
@@ -172,10 +172,12 @@ class CloveEcnPolicy(_FlowletPolicyBase):
             # back to static hashing (the guest is throttled through the
             # all-paths-congested ECE rule meanwhile).
             choice = self._fallback_port(inner)
+            trigger = "quarantine" if self.weights.has_paths(inner.dst_ip) else "hash"
         else:
             choice = self.weights.next_port(inner.dst_ip)
+            trigger = "weights"
         self.flowlets.assign(inner, choice, now)
-        self._emit_flowlet(inner, choice, now)
+        self._emit_flowlet(inner, choice, now, trigger=trigger)
         return choice
 
     def _adapted_gap(self, dst_ip: int) -> float:
@@ -249,15 +251,17 @@ class CloveIntPolicy(_FlowletPolicyBase):
             return port
         if not self.weights.has_live_paths(inner.dst_ip):
             choice = self._fallback_port(inner)
+            trigger = "quarantine" if self.weights.has_paths(inner.dst_ip) else "hash"
         else:
             choice = self.weights.least_utilized_port(inner.dst_ip, now)
+            trigger = "int"
             if self.local_bump > 0.0:
                 current = self.weights.util_of(inner.dst_ip, choice)
                 self.weights.record_util(
                     inner.dst_ip, choice, current + self.local_bump, now
                 )
         self.flowlets.assign(inner, choice, now)
-        self._emit_flowlet(inner, choice, now)
+        self._emit_flowlet(inner, choice, now, trigger=trigger)
         return choice
 
     def on_path_feedback(self, feedback: PathFeedback, now: float) -> None:

@@ -103,7 +103,7 @@ class _PathHealth:
 
     __slots__ = ("dst_ip", "port", "phase", "suspect", "losses", "successes",
                  "srtt", "probation_stage", "probation_started",
-                 "advance_event", "last_anomaly", "last_signal")
+                 "advance_event", "last_anomaly", "last_signal", "span")
 
     def __init__(self, dst_ip: int, port: int, phase: str) -> None:
         self.dst_ip = dst_ip
@@ -120,6 +120,8 @@ class _PathHealth:
         self.last_anomaly = -1.0
         #: sim time of the last proof of delivery (echo or probe reply)
         self.last_signal = float("-inf")
+        #: open "outage" trace span for the current incident (None = healthy)
+        self.span = None
 
 
 @dataclass
@@ -182,12 +184,15 @@ class PathHealthMonitor:
         #: quarantine/restore actions with timestamps (chaos.metrics input)
         self.markers: List[_Marker] = []
 
-    #: telemetry hook; instances overwrite via :meth:`attach_telemetry`
+    #: telemetry hooks; instances overwrite via :meth:`attach_telemetry`
     _tel_events = None
+    _tel_trace = None
 
     def attach_telemetry(self, telemetry) -> None:
         """Bind health.* event emission to a telemetry scope."""
         self._tel_events = telemetry.events
+        trace = getattr(telemetry, "trace", None)
+        self._tel_trace = trace if (trace is not None and trace.enabled) else None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -240,6 +245,7 @@ class PathHealthMonitor:
                 rec = self._paths.pop(key)
                 if rec.advance_event is not None:
                     rec.advance_event.cancel()
+                self._outage_end(rec, "remapped")
         for key, state in current.items():
             if key not in self._paths:
                 self._paths[key] = _PathHealth(key[0], key[1], state)
@@ -313,6 +319,9 @@ class PathHealthMonitor:
                 self.suspect_events += 1
                 self._emit("health.suspect", dst=rec.dst_ip, port=rec.port,
                            reason="probe_loss", losses=rec.losses)
+                self._outage_begin(rec)
+                self._outage_mark(rec, "suspect", reason="probe_loss",
+                                  losses=rec.losses)
             if rec.losses >= cfg.dead_after:
                 self._quarantine(rec)
         elif rec.phase == STATE_PROBATION:
@@ -331,6 +340,8 @@ class PathHealthMonitor:
             if rec.successes >= cfg.recover_after:
                 self._begin_probation(rec)
             return
+        if rec.suspect and rec.phase == STATE_LIVE:
+            self._outage_end(rec, "cleared")
         rec.suspect = False
         if rec.srtt is not None and rec.srtt > 0:
             if rtt > cfg.rtt_suspect_factor * rec.srtt:
@@ -348,6 +359,8 @@ class PathHealthMonitor:
         self.suspect_events += 1
         self._emit("health.suspect", dst=rec.dst_ip, port=rec.port,
                    reason=reason, **fields)
+        self._outage_begin(rec)
+        self._outage_mark(rec, "suspect", reason=reason)
 
     # ------------------------------------------------------------------
     # Quarantine and recovery
@@ -375,6 +388,11 @@ class PathHealthMonitor:
                    losses=rec.losses)
         self._emit("health.quarantine", dst=rec.dst_ip, port=rec.port,
                    live_ports=len(self.table.live_ports_for(rec.dst_ip)))
+        self._outage_begin(rec)  # probation re-failures arrive unsuspected
+        self._outage_mark(
+            rec, "requarantine" if requarantine else "quarantine",
+            live_ports=len(self.table.live_ports_for(rec.dst_ip)),
+        )
         if requarantine:
             # Anti-flapping: each probation failure doubles the backoff.
             cfg = self.config
@@ -397,6 +415,7 @@ class PathHealthMonitor:
         rec.probation_started = self.sim.now
         self._emit("health.probation", dst=rec.dst_ip, port=rec.port,
                    stage=0, fraction=stages[0])
+        self._outage_mark(rec, "probation", stage=0, fraction=stages[0])
         rec.advance_event = self.sim.schedule(
             cfg.probation_window, self._advance_probation, rec.dst_ip, rec.port
         )
@@ -417,6 +436,8 @@ class PathHealthMonitor:
             rec.probation_stage = next_stage
             self._emit("health.probation", dst=dst_ip, port=port,
                        stage=next_stage, fraction=stages[next_stage])
+            self._outage_mark(rec, "probation", stage=next_stage,
+                              fraction=stages[next_stage])
             rec.advance_event = self.sim.schedule(
                 cfg.probation_window, self._advance_probation, dst_ip, port
             )
@@ -436,6 +457,8 @@ class PathHealthMonitor:
         )
         self._emit("health.restore", dst=dst_ip, port=port,
                    probation_s=probation_s)
+        self._outage_mark(rec, "restore", probation_s=probation_s)
+        self._outage_end(rec, "restored")
         self._backoff.pop(dst_ip, None)
 
     # ------------------------------------------------------------------
@@ -472,3 +495,30 @@ class PathHealthMonitor:
         if self._tel_events is not None:
             self._tel_events.emit(event, self.sim.now,
                                   host=self.host.name, **fields)
+
+    # ------------------------------------------------------------------
+    # Outage trace spans (one per incident: suspect ... quarantine ...
+    # probation ... restore/cleared/remapped)
+    # ------------------------------------------------------------------
+    def _outage_begin(self, rec: _PathHealth) -> None:
+        trace = self._tel_trace
+        if trace is None or rec.span is not None:
+            return
+        rec.span = trace.begin(
+            "outage", f"{rec.dst_ip}:{rec.port}", self.sim.now,
+            host=self.host.name, dst=rec.dst_ip, port=rec.port,
+        )
+
+    def _outage_mark(self, rec: _PathHealth, mark: str, **fields) -> None:
+        trace = self._tel_trace
+        if trace is None or rec.span is None:
+            return
+        trace.instant("health", mark, self.sim.now,
+                      parent=rec.span.sid, **fields)
+
+    def _outage_end(self, rec: _PathHealth, outcome: str) -> None:
+        trace = self._tel_trace
+        if trace is None or rec.span is None:
+            return
+        trace.end(rec.span, self.sim.now, outcome=outcome)
+        rec.span = None

@@ -188,6 +188,14 @@ class WeightedPathTable:
         """Liveness state of one path (raises ``KeyError`` when unknown)."""
         return self._state(dst_ip, port, "state_of").state
 
+    def trace_of(self, dst_ip: int, port: int) -> Optional[PathTrace]:
+        """The discovered physical path behind ``port`` (None when unknown
+        — pre-discovery fallback ports have no trace)."""
+        for state in self._paths.get(dst_ip, ()):
+            if state.port == port:
+                return state.trace
+        return None
+
     def path_states(self, dst_ip: int) -> List[Tuple[int, str]]:
         """``(port, state)`` for every installed path towards ``dst_ip``."""
         return [(s.port, s.state) for s in self._paths.get(dst_ip, [])]

@@ -38,6 +38,7 @@ from repro.hypervisor.host import Host
 from repro.hypervisor.policy import LoadBalancer, PathTrace
 from repro.metrics.collector import MetricsCollector
 from repro.net.packet import MTU, ACK_BYTES, ENCAP_BYTES
+from repro.runner.job import fingerprint_payload
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.telemetry import NULL_TELEMETRY, Telemetry
@@ -441,6 +442,11 @@ def run_experiment(
 
     manifest: Optional[Dict[str, object]] = None
     if tel.enabled:
+        if tel.trace.enabled:
+            # Scope spans under the config's job fingerprint: the same id
+            # the runner assigns, so serial and pooled runs of identical
+            # specs land in (and merge into) the same run list.
+            tel.trace.begin_run(fingerprint_payload("experiment", config))
         tel.instrument(sim=sim, net=net, hosts=hosts)
         manifest = tel.manifest(
             run="experiment",
@@ -453,6 +459,7 @@ def run_experiment(
             "run.start", sim.now,
             scheme=config.scheme, load=config.load, seed=config.seed,
         )
+        workload.attach_telemetry(tel)
 
     if on_ready is not None:
         on_ready(sim, net, hosts)
@@ -493,6 +500,8 @@ def run_experiment(
             manifest["wall_s"] = time.perf_counter() - wall_start
             manifest["sim_duration"] = sim.now
             manifest["sim_events"] = sim.events_processed
+        if tel.trace.enabled:
+            tel.trace.finish_run(sim.now)
 
     return ExperimentResult(
         config=config,

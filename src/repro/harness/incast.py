@@ -14,6 +14,7 @@ from repro.harness.experiment import (
     estimate_rtt,
 )
 from repro.hypervisor.host import Host
+from repro.runner.job import fingerprint_payload
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
 from repro.telemetry import NULL_TELEMETRY, Telemetry
@@ -98,6 +99,12 @@ def run_incast(
 
     manifest = None
     if tel.enabled:
+        if tel.trace.enabled:
+            tel.trace.begin_run(fingerprint_payload("incast", dict(
+                scheme=scheme, fanout=fanout, seed=seed,
+                n_requests=n_requests, total_bytes=total_bytes,
+                mptcp_subflows=mptcp_subflows, min_rto=min_rto,
+            )))
         tel.instrument(sim=sim, net=net, hosts=hosts)
         manifest = tel.manifest(
             run="incast", scheme=scheme, seed=seed, fanout=fanout,
@@ -133,4 +140,6 @@ def run_incast(
             manifest["sim_duration"] = sim.now
             manifest["sim_events"] = sim.events_processed
             manifest["goodput_bps"] = goodput
+        if tel.trace.enabled:
+            tel.trace.finish_run(sim.now)
     return goodput

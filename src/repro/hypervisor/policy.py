@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.net.packet import FlowKey, Packet
+from repro.telemetry.trace import weights_fingerprint
 
 #: A discovered physical path: the ordered tuple of link names it traverses.
 PathTrace = Tuple[str, ...]
@@ -55,6 +56,8 @@ class LoadBalancer:
     needs_reassembly: bool = False
     #: bound event log of the attached telemetry scope (None = uninstrumented)
     _tel_events = None
+    #: bound span tracer of the attached scope (None = tracing off)
+    _tel_trace = None
 
     def select_source_port(self, inner: FlowKey, packet: Packet, now: float) -> int:
         """Return the outer source port for this packet (the path choice)."""
@@ -71,10 +74,20 @@ class LoadBalancer:
         propagate the scope into it.
         """
         self._tel_events = telemetry.events
+        trace = getattr(telemetry, "trace", None)
+        self._tel_trace = trace if (trace is not None and trace.enabled) else None
 
-    def _emit_flowlet(self, inner: FlowKey, port: int, now: float) -> None:
+    def _emit_flowlet(
+        self, inner: FlowKey, port: int, now: float, trigger: str = "new"
+    ) -> None:
         """Record a path decision for a newly created flowlet (no-op when no
-        telemetry scope is attached; called per flowlet, not per packet)."""
+        telemetry scope is attached; called per flowlet, not per packet).
+
+        ``trigger`` names why the decision came out this way: ``hash``
+        (static/fallback hashing), ``random`` (edge-flowlet), ``weights``
+        (the WRR table), ``int`` (least-utilized), ``quarantine`` (every
+        live path was quarantined, fell back to hashing).
+        """
         events = self._tel_events
         if events is not None:
             events.emit(
@@ -82,6 +95,18 @@ class LoadBalancer:
                 src=inner.src_ip, dst=inner.dst_ip,
                 sport=inner.src_port, port=port,
             )
+        trace = self._tel_trace
+        if trace is not None:
+            fields = {"port": port, "trigger": trigger}
+            weights = getattr(self, "weights", None)
+            if weights is not None:
+                snapshot = weights.weights_for(inner.dst_ip)
+                if snapshot:
+                    fields["weights"] = weights_fingerprint(snapshot)
+                path = weights.trace_of(inner.dst_ip, port)
+                if path:
+                    fields["path"] = ">".join(path)
+            trace.flowlet(inner, now, **fields)
 
     # ------------------------------------------------------------------
     # Path discovery plumbing

@@ -28,6 +28,7 @@ from typing import Dict, Optional, TYPE_CHECKING
 from repro.net.packet import FlowKey, Packet, STT_DST_PORT
 from repro.hypervisor.policy import LoadBalancer, PathFeedback
 from repro.sim.engine import Simulator
+from repro.telemetry.trace import weights_fingerprint
 from repro.transport.tcp import FLAG_ECE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,13 +38,16 @@ if TYPE_CHECKING:  # pragma: no cover
 class _PathEchoState:
     """Pending telemetry to reflect to one remote hypervisor, per port."""
 
-    __slots__ = ("ecn_pending", "last_ecn_relay", "util", "util_fresh")
+    __slots__ = ("ecn_pending", "last_ecn_relay", "util", "util_fresh",
+                 "ecn_seen_at")
 
     def __init__(self) -> None:
         self.ecn_pending = False
         self.last_ecn_relay = -1e9
         self.util: float = 0.0
         self.util_fresh = False
+        #: when the pending CE observation was first made (trace timing)
+        self.ecn_seen_at: Optional[float] = None
 
 
 class _ReassemblyBuffer:
@@ -95,12 +99,15 @@ class VSwitch:
         self.echoes_received = 0
         self.guest_ecn_injected = 0
 
-    #: telemetry hook; instances overwrite via :meth:`attach_telemetry`
+    #: telemetry hooks; instances overwrite via :meth:`attach_telemetry`
     _tel_events = None
+    _tel_trace = None
 
     def attach_telemetry(self, telemetry) -> None:
         """Bind echo/rewrite event emission here and propagate to the policy."""
         self._tel_events = telemetry.events
+        trace = getattr(telemetry, "trace", None)
+        self._tel_trace = trace if (trace is not None and trace.enabled) else None
         if self.policy is not None:
             self.policy.attach_telemetry(telemetry)
 
@@ -117,6 +124,8 @@ class VSwitch:
             return
         dst_hyp = packet.inner.dst_ip
         sport = self.policy.select_source_port(packet.inner, packet, self.sim.now)
+        if self._tel_trace is not None and packet.payload_bytes:
+            self._tel_trace.flowlet_bytes(packet.inner, packet.payload_bytes)
         outer = FlowKey(self.host.ip, dst_hyp, sport, STT_DST_PORT)
         packet.encapsulate(outer, ect=self.policy.wants_ecn)
         if self.policy.wants_int:
@@ -138,6 +147,8 @@ class VSwitch:
         """
         inner = packet.inner
         sport = self.policy.select_source_port(inner, packet, self.sim.now)
+        if self._tel_trace is not None and packet.payload_bytes:
+            self._tel_trace.flowlet_bytes(inner, packet.payload_bytes)
         if self._tel_events is not None and sport != inner.src_port:
             self._tel_events.emit(
                 "vswitch.rewrite", self.sim.now,
@@ -182,7 +193,9 @@ class VSwitch:
                 packet.stt_echo_port = port
                 packet.stt_echo_ecn = True
                 packet.stt_echo_util = state.util if state.util_fresh else None
+                packet.stt_echo_seen = state.ecn_seen_at
                 state.ecn_pending = False
+                state.ecn_seen_at = None
                 state.util_fresh = False
                 state.last_ecn_relay = now
                 self._echo_rotation[dst_hyp] = (start + i + 1) % len(ports)
@@ -215,6 +228,8 @@ class VSwitch:
             state = _PathEchoState()
             self._echo[remote][path_port] = state
         if packet.ce:
+            if not state.ecn_pending:
+                state.ecn_seen_at = self.sim.now
             state.ecn_pending = True
         if packet.int_enabled:
             state.util = packet.int_max_util
@@ -236,6 +251,21 @@ class VSwitch:
                     host=self.host.name, remote=remote,
                     port=packet.stt_echo_port, util=packet.stt_echo_util,
                 )
+            # The ECN reaction chain as one span: from the instant the
+            # remote hypervisor saw CE (carried in the echo context) to the
+            # weight-table respread that reacts to it.
+            trace = self._tel_trace
+            reaction = None
+            if trace is not None and packet.stt_echo_ecn:
+                seen = (
+                    packet.stt_echo_seen
+                    if packet.stt_echo_seen is not None else self.sim.now
+                )
+                reaction = trace.begin(
+                    "reaction", f"ecn:{packet.stt_echo_port}", seen,
+                    host=self.host.name, remote=remote,
+                    port=packet.stt_echo_port,
+                )
             self.policy.on_path_feedback(
                 PathFeedback(
                     dst_ip=remote,
@@ -245,6 +275,17 @@ class VSwitch:
                 ),
                 self.sim.now,
             )
+            if reaction is not None:
+                weights = getattr(self.policy, "weights", None)
+                if weights is not None:
+                    snapshot = weights.weights_for(remote)
+                    if snapshot:
+                        trace.instant(
+                            "respread", "weights_respread", self.sim.now,
+                            parent=reaction.sid,
+                            weights=weights_fingerprint(snapshot),
+                        )
+                trace.end(reaction, self.sim.now)
             if self.host.health is not None:
                 # An echo about a path proves packets we sent on it made it
                 # to the remote: data-plane liveness between health probes.

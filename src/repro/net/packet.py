@@ -64,7 +64,7 @@ class Packet:
         "pid", "inner", "outer", "size", "payload_bytes",
         "seq", "ack", "flags", "ttl",
         "ect", "ce",
-        "stt_echo_port", "stt_echo_ecn", "stt_echo_util",
+        "stt_echo_port", "stt_echo_ecn", "stt_echo_util", "stt_echo_seen",
         "int_enabled", "int_max_util",
         "flowcell_id", "flowcell_seq",
         "dsn", "subflow_id",
@@ -98,6 +98,9 @@ class Packet:
         self.stt_echo_port: Optional[int] = None
         self.stt_echo_ecn = False
         self.stt_echo_util: Optional[float] = None
+        # When the destination hypervisor first saw CE on this path (sim
+        # time) — lets the source measure its detection->reaction latency.
+        self.stt_echo_seen: Optional[float] = None
         # In-band Network Telemetry.
         self.int_enabled = False
         self.int_max_util = 0.0

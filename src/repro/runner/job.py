@@ -32,7 +32,9 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 #: v3: health_* self-healing metrics joined the payload and
 #: ``ExperimentConfig`` grew ``health``/``health_config``/
 #: ``failover_delay_s``.
-SCHEMA_VERSION = 3
+#: v4: causal trace spans joined the cross-process telemetry state
+#: (``dump_state`` grew a ``trace`` key merged on absorb).
+SCHEMA_VERSION = 4
 
 #: the kinds of work the runner knows how to execute
 JOB_KINDS = ("experiment", "incast")

@@ -175,6 +175,7 @@ class _PoolState:
     max_workers: int
     want_telemetry: bool
     profile: bool
+    trace: bool = True
     queue: deque = field(default_factory=deque)
     attempts: Dict[int, int] = field(default_factory=dict)
     inflight: Dict[Any, Any] = field(default_factory=dict)  # future -> (idx, t0)
@@ -206,6 +207,8 @@ def _run_pooled(specs, pending, results, cache, telemetry, cfg, progress) -> Non
         max_workers=min(cfg.jobs, len(pending)),
         want_telemetry=tel_enabled,
         profile=tel_enabled and getattr(telemetry, "profiler", None) is not None,
+        trace=tel_enabled and getattr(telemetry, "trace", None) is not None
+        and telemetry.trace.enabled,
         queue=deque(pending),
         attempts={index: 0 for index in pending},
     )
@@ -214,7 +217,8 @@ def _run_pooled(specs, pending, results, cache, telemetry, cfg, progress) -> Non
     def submit(index: int) -> None:
         state.attempts[index] += 1
         future = pool.submit(
-            pool_worker, specs[index], state.want_telemetry, state.profile
+            pool_worker, specs[index], state.want_telemetry, state.profile,
+            state.trace,
         )
         state.inflight[future] = (index, time.monotonic())
 

@@ -44,7 +44,7 @@ def execute_job(spec: JobSpec, telemetry=None) -> Dict[str, Any]:
 
 
 def pool_worker(
-    spec: JobSpec, want_telemetry: bool, profile: bool
+    spec: JobSpec, want_telemetry: bool, profile: bool, trace: bool = True
 ) -> Dict[str, Any]:
     """Entry point executed inside a pool process (module-level: picklable).
 
@@ -57,7 +57,7 @@ def pool_worker(
     if want_telemetry:
         from repro.telemetry import Telemetry
 
-        telemetry = Telemetry(profile=profile)
+        telemetry = Telemetry(profile=profile, trace=trace)
     payload = execute_job(spec, telemetry=telemetry)
     if telemetry is not None:
         payload["telemetry"] = telemetry.dump_state()

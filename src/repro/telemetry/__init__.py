@@ -9,8 +9,8 @@ Public surface::
     telemetry.export_jsonl("run.jsonl")
 
 See :mod:`repro.telemetry.core` for the facade, :mod:`~.registry` /
-:mod:`~.events` / :mod:`~.profiler` for the building blocks, and
-:mod:`~.render` for the ``repro telemetry`` text views.
+:mod:`~.events` / :mod:`~.profiler` / :mod:`~.trace` for the building
+blocks, and :mod:`~.render` for the ``repro telemetry`` text views.
 """
 
 from repro.telemetry.core import (
@@ -19,8 +19,16 @@ from repro.telemetry.core import (
     git_revision,
     load_jsonl,
 )
-from repro.telemetry.events import EventLog, TelemetryEvent, read_jsonl
+from repro.telemetry.events import EventLog, TelemetryEvent, open_text, read_jsonl
 from repro.telemetry.profiler import SimProfiler, callback_name
+from repro.telemetry.trace import (
+    Span,
+    TraceView,
+    Tracer,
+    chrome_trace,
+    export_chrome,
+    weights_fingerprint,
+)
 from repro.telemetry.registry import (
     Counter,
     Gauge,
@@ -37,7 +45,14 @@ __all__ = [
     "load_jsonl",
     "EventLog",
     "TelemetryEvent",
+    "open_text",
     "read_jsonl",
+    "Span",
+    "Tracer",
+    "TraceView",
+    "chrome_trace",
+    "export_chrome",
+    "weights_fingerprint",
     "SimProfiler",
     "callback_name",
     "MetricsRegistry",

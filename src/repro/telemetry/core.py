@@ -21,9 +21,10 @@ import subprocess
 import time
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.telemetry.events import EventLog, read_jsonl
+from repro.telemetry.events import EventLog, open_text, read_jsonl
 from repro.telemetry.profiler import SimProfiler
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import Tracer
 
 _git_rev_cache: Optional[str] = None
 _git_rev_known = False
@@ -52,10 +53,14 @@ class Telemetry:
         enabled: bool = True,
         event_capacity: int = 65536,
         profile: bool = False,
+        trace: bool = True,
+        trace_capacity: int = 200_000,
     ) -> None:
         self.enabled = enabled
         self.registry = MetricsRegistry(enabled=enabled)
         self.events = EventLog(capacity=event_capacity, enabled=enabled)
+        #: causal span tracer (flow/flowlet/reaction/outage timelines)
+        self.trace = Tracer(capacity=trace_capacity, enabled=enabled and trace)
         self.profiler: Optional[SimProfiler] = (
             SimProfiler() if (enabled and profile) else None
         )
@@ -207,6 +212,7 @@ class Telemetry:
             "registry": self.registry.dump(),
             "events": self.events.dump(),
             "events_dropped": self.events.dropped,
+            "trace": self.trace.dump(),
         }
 
     def absorb(self, state: Dict[str, Any]) -> None:
@@ -223,6 +229,7 @@ class Telemetry:
         self.events.absorb(
             state.get("events", ()), dropped=state.get("events_dropped", 0)
         )
+        self.trace.absorb(state.get("trace", {}))
 
     # ------------------------------------------------------------------
     # Export / snapshot
@@ -242,10 +249,12 @@ class Telemetry:
 
         Line kinds: ``manifest`` (one per recorded run), ``counters`` /
         ``gauges`` / ``histograms`` (one snapshot line each), ``profile``
-        (when profiling ran), then one ``event`` line per buffered event.
+        (when profiling ran), one ``event`` line per buffered event, then
+        one ``span`` line per recorded trace span (canonically ordered).
+        Paths ending in ``.gz`` are gzip-compressed.
         """
         lines = 0
-        with open(path, "w", encoding="utf-8") as fp:
+        with open_text(path, "w") as fp:
             def _write(record: Dict[str, Any]) -> None:
                 nonlocal lines
                 fp.write(json.dumps(record, default=str))
@@ -262,7 +271,10 @@ class Telemetry:
                 _write({"kind": "profile", **self.profiler.summary()})
             if self.events.dropped:
                 _write({"kind": "events_dropped", "count": self.events.dropped})
+            if self.trace.dropped:
+                _write({"kind": "spans_dropped", "count": self.trace.dropped})
             lines += self.events.write_jsonl(fp)
+            lines += self.trace.write_jsonl(fp)
         return lines
 
 
@@ -280,6 +292,7 @@ def load_jsonl(path: str) -> Dict[str, Any]:
     dump: Dict[str, Any] = {
         "manifests": [], "counters": {}, "gauges": {}, "histograms": {},
         "profile": None, "events": [], "events_dropped": 0,
+        "spans": [], "spans_dropped": 0,
     }
     for record in read_jsonl(path):
         kind = record.get("kind")
@@ -291,6 +304,10 @@ def load_jsonl(path: str) -> Dict[str, Any]:
             dump["profile"] = record
         elif kind == "events_dropped":
             dump["events_dropped"] = record.get("count", 0)
+        elif kind == "spans_dropped":
+            dump["spans_dropped"] = record.get("count", 0)
         elif kind == "event":
             dump["events"].append(record)
+        elif kind == "span":
+            dump["spans"].append(record)
     return dump

@@ -13,7 +13,9 @@ analysis with :func:`read_jsonl`.
 
 from __future__ import annotations
 
+import gzip
 import json
+import warnings
 from collections import Counter as TallyCounter
 from collections import deque
 from typing import Any, Deque, Dict, Iterator, List, NamedTuple, Optional, TextIO
@@ -119,12 +121,54 @@ class EventLog:
         return n
 
 
+def open_text(path: str, mode: str = "r"):
+    """Open a text file, transparently gzip-compressing ``*.gz`` paths.
+
+    The single chokepoint for artifact IO: every telemetry/trace reader and
+    writer goes through here, so ``--telemetry-out run.jsonl.gz`` and
+    ``repro trace summary run.jsonl.gz`` both just work.
+    """
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """Parse a telemetry JSONL file into raw record dicts (any ``kind``)."""
+    """Parse a telemetry JSONL file into raw record dicts (any ``kind``).
+
+    Robust to crash-interrupted runs: corrupt lines are skipped (counted in
+    one warning) and a truncated gzip stream yields the records decoded so
+    far instead of raising — the partial artifact is still analyzable.
+    """
     records: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as fp:
-        for line in fp:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+    skipped = 0
+    truncated = False
+    with open_text(path) as fp:
+        try:
+            for line in fp:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    skipped += 1
+        except (EOFError, OSError):  # truncated/corrupt gzip mid-stream
+            truncated = True
+    if skipped or truncated:
+        detail = []
+        if skipped:
+            detail.append(f"skipped {skipped} corrupt line(s)")
+        if truncated:
+            detail.append("stream truncated")
+        if not records:
+            # Nothing recoverable: the file isn't a damaged artifact, it
+            # just isn't one — fail loudly rather than render emptiness.
+            raise ValueError(f"{path}: {', '.join(detail)}; no valid records")
+        warnings.warn(
+            f"{path}: {', '.join(detail)}; returning partial artifact "
+            f"({len(records)} records)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return records

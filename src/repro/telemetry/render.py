@@ -114,4 +114,10 @@ def render_dump(dump: Dict[str, Any], top: int = 40, sample: int = 8) -> str:
     profile = dump.get("profile")
     if profile:
         sections.append(render_profile(profile))
+    spans = dump.get("spans")
+    if spans:
+        from repro.telemetry.trace import TraceView, render_summary
+
+        sections.append(render_summary(
+            TraceView.from_records(spans, dump.get("spans_dropped", 0))))
     return "\n\n".join(sections)

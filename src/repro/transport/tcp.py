@@ -366,6 +366,11 @@ class TcpSender:
                 src=self.flow.src_ip, dst=self.flow.dst_ip,
                 sport=self.flow.src_port, una=self.snd_una,
             )
+            trace = telemetry.trace
+            if trace.enabled:
+                trace.instant("tcp", "fast_retransmit", self.sim.now,
+                              parent=trace.current_flow(self.flow),
+                              una=self.snd_una)
         self._recovery_cursor = self.snd_una
         self._retransmit_hole()
         self._restart_rto()
@@ -402,6 +407,13 @@ class TcpSender:
         self.cwnd = max(self.ssthresh, 2.0 * self.mss)
         self.cwr_pending = True
         self.ecn_reductions += 1
+        telemetry = getattr(self.host, "telemetry", None)
+        if telemetry is not None and telemetry.trace.enabled:
+            telemetry.trace.instant(
+                "tcp", "ecn_reduction", self.sim.now,
+                parent=telemetry.trace.current_flow(self.flow),
+                cwnd=round(self.cwnd),
+            )
 
     def _on_rto(self) -> None:
         self._rto_event = None
@@ -416,6 +428,11 @@ class TcpSender:
                 sport=self.flow.src_port,
                 rto=self.rto * self.backoff, una=self.snd_una,
             )
+            trace = telemetry.trace
+            if trace.enabled:
+                trace.instant("tcp", "timeout", self.sim.now,
+                              parent=trace.current_flow(self.flow),
+                              rto=self.rto * self.backoff, una=self.snd_una)
         self.ssthresh = max(self.flight_size / 2.0, 2.0 * self.mss)
         self.cwnd = float(self.mss)
         self.in_recovery = False

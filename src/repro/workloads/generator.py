@@ -97,6 +97,21 @@ class PoissonWorkload:
                 self._connections.append(connection)
                 self._outstanding.append(0)
                 self._deferred.append(0)
+        # Causal tracing: tracer plus each connection's forward 5-tuple
+        # (filled in by attach_telemetry; stays off for NULL_TELEMETRY).
+        self._tel_trace = None
+        self._flow_keys: List[object] = [None] * len(self._connections)
+
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, telemetry) -> None:
+        """Open flow spans per job once the run's tracer is known."""
+        trace = getattr(telemetry, "trace", None)
+        if trace is None or not trace.enabled:
+            return
+        self._tel_trace = trace
+        for index, connection in enumerate(self._connections):
+            sender = getattr(connection, "sender", None)
+            self._flow_keys[index] = getattr(sender, "flow", None)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -124,9 +139,15 @@ class PoissonWorkload:
         self.jobs_submitted += 1
         self._outstanding[index] += 1
         record = self.collector.job_started(size, arrival)
+        trace = self._tel_trace
+        key = self._flow_keys[index] if trace is not None else None
+        if trace is not None and key is not None:
+            trace.flow_begin(key, arrival, bytes=size)
 
         def _on_complete() -> None:
             self.collector.job_finished(record, self.sim.now)
+            if trace is not None and key is not None:
+                trace.flow_end(key, self.sim.now, status="completed")
             self.jobs_completed += 1
             self._outstanding[index] -= 1
             if self._deferred[index] > 0:

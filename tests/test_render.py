@@ -1,0 +1,132 @@
+"""Tests for repro.telemetry.render: the text tables behind
+``repro telemetry``.  Golden-ish assertions on structure (ranking,
+overflow markers, truncation, empty-input placeholders) rather than full
+byte-for-byte goldens, so cosmetic spacing tweaks don't break them."""
+
+from repro.telemetry.render import (
+    render_counters,
+    render_dump,
+    render_events,
+    render_histograms,
+    render_manifests,
+    render_profile,
+)
+
+
+class TestRenderCounters:
+    def test_empty_placeholder(self):
+        assert render_counters({}) == "(counters: none)"
+        assert render_counters({}, title="gauges") == "(gauges: none)"
+
+    def test_ranked_by_magnitude(self):
+        text = render_counters({"small": 2.0, "big": -500.0, "mid": 30.0})
+        lines = text.splitlines()
+        assert lines[0] == "counters (3):"
+        names = [line.split()[-1] for line in lines[1:]]
+        assert names == ["big", "mid", "small"]
+
+    def test_overflow_marker(self):
+        values = {f"counter.{i:03d}": float(i) for i in range(50)}
+        text = render_counters(values, top=40)
+        assert text.splitlines()[-1] == "  ... 10 more"
+        assert len(text.splitlines()) == 42  # title + 40 rows + overflow
+
+    def test_float_formatting(self):
+        text = render_counters({"x": 0.000123456789})
+        assert "0.000123457" in text  # %.6g
+
+
+class TestRenderHistograms:
+    def test_empty_placeholder(self):
+        assert render_histograms({}) == "(histograms: none)"
+
+    def test_summary_row(self):
+        text = render_histograms({
+            "fct": {"count": 10, "mean": 0.5, "p50": 0.4, "p99": 0.9,
+                    "max": 1.0},
+        })
+        assert "fct: count=10 mean=0.5 p50=0.4 p99=0.9 max=1" in text
+
+
+class TestRenderEvents:
+    def test_empty_placeholder(self):
+        assert render_events([]) == "(events: none)"
+
+    def test_tally_and_sample(self):
+        events = (
+            [{"type": "tcp.timeout", "time": 1.0, "una": 5}] * 3
+            + [{"type": "chaos.inject", "time": 2.0}]
+        )
+        text = render_events(events, sample=2)
+        assert "events (4 buffered):" in text
+        assert "        3  tcp.timeout" in text
+        assert "last 2 events:" in text
+        assert "una=5" in text
+
+    def test_dropped_count_shown(self):
+        text = render_events([{"type": "x", "time": 0.0}], dropped=7)
+        assert "1 buffered, 7 dropped" in text
+
+    def test_many_types_overflow(self):
+        events = [{"type": f"type.{i}", "time": 0.0} for i in range(15)]
+        text = render_events(events, top_types=12, sample=0)
+        assert "... 3 more types" in text
+
+
+class TestRenderManifests:
+    def test_empty_placeholder(self):
+        assert render_manifests([]) == "(no manifests)"
+
+    def test_long_git_rev_is_truncated(self):
+        text = render_manifests([{
+            "scheme": "clove-ecn", "load": 0.7, "seed": 1,
+            "git_rev": "0123456789abcdef0123456789abcdef01234567",
+        }])
+        assert "git=0123456789" in text
+        assert "abcdef0123456789abcdef" not in text
+
+    def test_missing_fields_render_as_question_marks(self):
+        text = render_manifests([{}])
+        assert "scheme=? load=? seed=?" in text and "git=?" in text
+
+
+class TestRenderProfile:
+    def test_empty_placeholder(self):
+        assert render_profile({}) == "(no profile)"
+
+    def test_headline_and_rows(self):
+        text = render_profile({
+            "events": 1000, "wall_s": 2.0, "events_per_sec": 500.0,
+            "heap_high_water": 64,
+            "callbacks": [{"count": 10, "total_s": 1.5, "mean_us": 150000.0,
+                           "callback": "Link._deliver"}],
+        })
+        assert "1000 events in 2.000s" in text
+        assert "heap high-water 64" in text
+        assert "Link._deliver" in text
+
+
+class TestRenderDump:
+    def test_all_sections_empty(self):
+        text = render_dump({})
+        for placeholder in ("(no manifests)", "(counters: none)",
+                            "(gauges: none)", "(histograms: none)",
+                            "(events: none)"):
+            assert placeholder in text
+        assert "profile" not in text and "trace summary" not in text
+
+    def test_sections_fill_in(self):
+        text = render_dump({
+            "manifests": [{"scheme": "ecmp"}],
+            "counters": {"packets": 42.0},
+            "events": [{"type": "run.start", "time": 0.0}],
+            "profile": {"events": 5, "wall_s": 0.1, "events_per_sec": 50.0,
+                        "heap_high_water": 2, "callbacks": []},
+            "spans": [{"run": "abc", "id": 1, "parent": 0, "span": "flow",
+                       "name": "f", "start": 0.0, "end": 1.0, "fields": {}}],
+        })
+        assert "scheme=ecmp" in text
+        assert "packets" in text
+        assert "run.start" in text
+        assert "50 events/s" in text
+        assert "trace summary:" in text and "flow=1" in text

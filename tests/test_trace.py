@@ -1,0 +1,407 @@
+"""Causal span tracer tests: recording, merge determinism, artifacts,
+Chrome export validity and the clove-vs-ecmp residency-shift acceptance
+criterion (the `repro trace` subsystem's contract)."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.chaos import preset
+from repro.cli import main
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.net.packet import FlowKey
+from repro.runner import JobSpec, RunnerConfig, run_jobs
+from repro.telemetry import Telemetry, load_jsonl
+from repro.telemetry.events import read_jsonl
+from repro.telemetry.trace import (
+    Tracer,
+    TraceView,
+    chrome_trace,
+    export_chrome,
+    render_critical,
+    render_diff,
+    render_flow,
+    render_paths,
+    render_summary,
+    weights_fingerprint,
+)
+
+
+# ----------------------------------------------------------------------
+# Unit tests: the Tracer itself (no simulation)
+# ----------------------------------------------------------------------
+class TestTracerUnit:
+    def test_span_ids_are_positions_in_the_run(self):
+        tracer = Tracer()
+        tracer.begin_run("run-a")
+        a = tracer.begin("flow", "f1", 0.0)
+        b = tracer.begin("flowlet", "f1", 0.1, parent=a.sid)
+        assert (a.sid, b.sid) == (1, 2)
+        assert b.parent == a.sid
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.begin_run("run-a")
+        assert tracer.begin("flow", "f", 0.0) is None
+        tracer.end(None, 1.0)  # None-safe
+        assert tracer.recorded == 0 and tracer.dump()["runs"] == {}
+
+    def test_spans_outside_a_run_are_counted_as_dropped(self):
+        tracer = Tracer()
+        assert tracer.begin("flow", "f", 0.0) is None
+        assert tracer.dropped == 1
+
+    def test_capacity_is_per_run_and_prefix_closed(self):
+        tracer = Tracer(capacity=2)
+        tracer.begin_run("a")
+        s1 = tracer.begin("flow", "f", 0.0)
+        s2 = tracer.begin("flowlet", "f", 0.1, parent=s1.sid)
+        assert tracer.begin("tcp", "x", 0.2) is None
+        tracer.finish_run(1.0)
+        # a fresh run gets a fresh budget — per-run, not global
+        tracer.begin_run("b")
+        assert tracer.begin("flow", "g", 0.0) is not None
+        assert tracer.dropped == 1
+        assert [s.sid for s in tracer.view().spans("a")] == [s1.sid, s2.sid]
+
+    def test_flow_fifo_matches_serialized_jobs(self):
+        key = FlowKey(1, 2, 10, 80)
+        tracer = Tracer()
+        tracer.begin_run("a")
+        first = tracer.flow_begin(key, 0.0, bytes=100)
+        second = tracer.flow_begin(key, 0.1, bytes=200)
+        # oldest open flow is the transmitting one; ACK keys resolve too
+        assert tracer.current_flow(key) == first.sid
+        assert tracer.current_flow(key.reversed()) == first.sid
+        tracer.flow_end(key, 0.5, status="completed")
+        assert first.end == 0.5
+        assert tracer.current_flow(key) == second.sid
+
+    def test_flowlets_tile_the_connection_timeline(self):
+        key = FlowKey(1, 2, 10, 80)
+        tracer = Tracer()
+        tracer.begin_run("a")
+        flow = tracer.flow_begin(key, 0.0)
+        f1 = tracer.flowlet(key, 0.0, port=100)
+        tracer.flowlet_bytes(key, 1460)
+        tracer.flowlet_bytes(key, 1460)
+        f2 = tracer.flowlet(key, 0.2, port=200)
+        assert f1.end == 0.2 and f1.fields["bytes"] == 2920
+        assert f2.parent == flow.sid and f2.fields["bytes"] == 0
+        tracer.finish_run(1.0)
+        assert f2.end == 1.0
+
+    def test_finish_run_marks_unfinished_flows_and_open_outages(self):
+        tracer = Tracer()
+        tracer.begin_run("a")
+        flow = tracer.flow_begin(FlowKey(1, 2, 10, 80), 0.0)
+        outage = tracer.begin("outage", "3:100", 0.1)
+        tracer.finish_run(2.0)
+        assert flow.fields["status"] == "unfinished" and flow.end == 2.0
+        assert outage.fields["outcome"] == "open"
+
+    def test_absorb_offsets_ids_like_a_continued_run(self):
+        worker = Tracer()
+        worker.begin_run("x")
+        w_flow = worker.flow_begin(FlowKey(1, 2, 10, 80), 0.0)
+        worker.flowlet(FlowKey(1, 2, 10, 80), 0.0, port=5)
+        worker.finish_run(1.0)
+
+        parent = Tracer()
+        parent.begin_run("x")
+        parent.flow_begin(FlowKey(9, 9, 1, 2), 0.0)
+        parent.finish_run(1.0)
+        parent.absorb(worker.dump())
+        spans = parent.view().spans("x")
+        assert [s.sid for s in spans] == [1, 2, 3]
+        # worker's flowlet re-parents onto the offset flow id
+        assert spans[2].parent == w_flow.sid + 1
+
+    def test_weights_fingerprint_tracks_content(self):
+        a = weights_fingerprint({100: 0.5, 200: 0.5})
+        assert a == weights_fingerprint({200: 0.5, 100: 0.5})
+        assert a != weights_fingerprint({100: 0.4, 200: 0.6})
+        assert len(a) == 8
+
+
+# ----------------------------------------------------------------------
+# Artifact round trips (plain, gzip, damaged)
+# ----------------------------------------------------------------------
+def _tiny_config(scheme="ecmp", seed=1, **kw):
+    return ExperimentConfig(
+        scheme=scheme, load=0.5, seed=seed,
+        jobs_per_client=4, clients_per_leaf=2, connections_per_client=1, **kw
+    )
+
+
+class TestArtifacts:
+    def _run(self):
+        tel = Telemetry()
+        run_experiment(_tiny_config(), telemetry=tel)
+        return tel
+
+    def test_jsonl_round_trip_preserves_spans(self, tmp_path):
+        tel = self._run()
+        path = tmp_path / "run.jsonl"
+        tel.export_jsonl(str(path))
+        dump = load_jsonl(str(path))
+        assert dump["spans"], "artifact should carry span records"
+        view = TraceView.from_records(dump["spans"], dump["spans_dropped"])
+        live = tel.trace.view()
+        assert view.scopes() == live.scopes()
+        scope = view.scopes()[0]
+        assert ([s.row() for s in view.spans(scope)]
+                == [s.row() for s in live.spans(scope)])
+
+    def test_gzip_artifact_is_transparent(self, tmp_path):
+        tel = self._run()
+        plain, gz = tmp_path / "run.jsonl", tmp_path / "run.jsonl.gz"
+        tel.export_jsonl(str(plain))
+        tel.export_jsonl(str(gz))
+        with open(gz, "rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b", "should really be gzip"
+        assert load_jsonl(str(gz)) == load_jsonl(str(plain))
+
+    def test_corrupt_trailing_line_yields_partial_artifact(self, tmp_path):
+        tel = self._run()
+        path = tmp_path / "run.jsonl"
+        tel.export_jsonl(str(path))
+        whole = read_jsonl(str(path))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "event", "truncated-by-a-cra')
+        with pytest.warns(RuntimeWarning, match="1 corrupt line"):
+            partial = read_jsonl(str(path))
+        assert partial == whole
+
+    def test_entirely_corrupt_file_still_errors(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("definitely { not json\n")
+        with pytest.raises(ValueError, match="no valid records"):
+            read_jsonl(str(bad))
+
+    def test_truncated_gzip_yields_partial_artifact(self, tmp_path):
+        tel = self._run()
+        gz = tmp_path / "run.jsonl.gz"
+        tel.export_jsonl(str(gz))
+        blob = gz.read_bytes()
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(blob[: len(blob) // 2])
+        with pytest.warns(RuntimeWarning, match="partial artifact"):
+            partial = read_jsonl(str(cut))
+        whole = read_jsonl(str(gz))
+        assert 0 < len(partial) < len(whole)
+        assert partial == whole[: len(partial)]
+
+
+# ----------------------------------------------------------------------
+# Serial vs parallel determinism (the runner merge contract)
+# ----------------------------------------------------------------------
+class TestMergeDeterminism:
+    def test_parallel_trace_artifact_is_bit_identical_to_serial(self, tmp_path):
+        specs = [
+            JobSpec.experiment(_tiny_config(scheme=scheme, seed=seed))
+            for scheme in ("ecmp", "clove-ecn")
+            for seed in (1, 2)
+        ]
+        paths = {}
+        for jobs in (1, 3):
+            tel = Telemetry()
+            results = run_jobs(
+                specs, runner=RunnerConfig(jobs=jobs, progress=False),
+                telemetry=tel,
+            )
+            assert all(r.ok for r in results)
+            path = tmp_path / f"trace-j{jobs}.jsonl"
+            tel.trace.export_jsonl(str(path))
+            paths[jobs] = path
+        assert paths[1].read_bytes() == paths[3].read_bytes()
+        assert paths[1].stat().st_size > 0
+
+
+# ----------------------------------------------------------------------
+# The pinned flap scenario (shared by export validation + diff acceptance)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def flap_artifacts(tmp_path_factory):
+    """clove-ecn and ecmp under the same pinned-seed cable flap."""
+    out = {}
+    tmp = tmp_path_factory.mktemp("flap")
+    for scheme in ("clove-ecn", "ecmp"):
+        tel = Telemetry()
+        config = ExperimentConfig(
+            scheme=scheme, load=0.7, seed=1, jobs_per_client=50,
+            chaos=preset("flap"),
+        )
+        run_experiment(config, telemetry=tel)
+        path = tmp / f"{scheme}.jsonl"
+        tel.export_jsonl(str(path))
+        out[scheme] = {"view": tel.trace.view(), "path": str(path)}
+    return out
+
+
+def _validate_chrome(doc):
+    """Structural validity: nesting discipline, no dangling async ends."""
+    events = doc["traceEvents"]
+    assert events, "chrome trace must not be empty"
+    # every async end pairs with a begin of the same (cat, id, pid)
+    begins = {(e["cat"], e["id"], e["pid"])
+              for e in events if e["ph"] == "b"}
+    for event in events:
+        if event["ph"] == "e":
+            assert (event["cat"], event["id"], event["pid"]) in begins
+        if event["ph"] == "n":
+            assert (event["cat"] == "stage"
+                    and any(b[1] == event["id"] for b in begins))
+    # X events on one (pid, tid) track must be disjoint or strictly nested
+    tracks = {}
+    for event in events:
+        if event["ph"] == "X":
+            tracks.setdefault((event["pid"], event["tid"]), []).append(event)
+    eps = 0.01  # µs; absorbs the 3-decimal rounding of ts/dur
+    for track in tracks.values():
+        track.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for event in track:
+            while stack and stack[-1] <= event["ts"] + eps:
+                stack.pop()
+            end = event["ts"] + event["dur"]
+            assert not stack or end <= stack[-1] + eps, "overlapping spans"
+            stack.append(end)
+
+
+class TestChromeExport:
+    def test_no_orphan_parent_ids(self, flap_artifacts):
+        view = flap_artifacts["clove-ecn"]["view"]
+        for scope in view.scopes():
+            seen = set()
+            for span in view.spans(scope):
+                assert span.parent == 0 or span.parent in seen, (
+                    f"span {span.sid} has orphan parent {span.parent}")
+                seen.add(span.sid)
+
+    def test_chrome_json_validates(self, flap_artifacts, tmp_path):
+        view = flap_artifacts["clove-ecn"]["view"]
+        out = tmp_path / "trace.json"
+        count = export_chrome(view, str(out))
+        doc = json.loads(out.read_text())
+        assert len(doc["traceEvents"]) == count
+        _validate_chrome(doc)
+        kinds = {e["cat"] for e in doc["traceEvents"] if e["ph"] != "M"}
+        assert {"flow", "flowlet", "chaos"} <= kinds
+
+    def test_chaos_faults_are_instant_events(self, flap_artifacts, tmp_path):
+        view = flap_artifacts["clove-ecn"]["view"]
+        doc = chrome_trace(view)
+        chaos = [e for e in doc["traceEvents"] if e.get("cat") == "chaos"]
+        assert chaos and all(e["ph"] == "i" for e in chaos)
+
+
+class TestResidencyShift:
+    """The issue's acceptance scenario: clove reacts to the flap, ECMP not."""
+
+    def test_clove_moves_bytes_off_the_flapped_cable(self, flap_artifacts):
+        view = flap_artifacts["clove-ecn"]["view"]
+        scope = view.scopes()[0]
+        shift = view.residency_shift(scope)
+        assert shift is not None and shift["shift"] > 0.2
+
+        def cable_share(residency):
+            total = sum(c["bytes"] for c in residency.values()) or 1.0
+            return sum(c["bytes"] for key, c in residency.items()
+                       if "S2->L2#0" in key) / total
+
+        before = cable_share(view.path_residency(scope, end=shift["fault_time"]))
+        after = cable_share(view.path_residency(scope, start=shift["fault_time"]))
+        assert before > 0.1, "flapped cable must carry traffic pre-fault"
+        assert after < before, "clove-ecn must shift residency away"
+
+    def test_ecmp_residency_does_not_shift(self, flap_artifacts):
+        view = flap_artifacts["ecmp"]["view"]
+        scope = view.scopes()[0]
+        shift = view.residency_shift(scope)
+        assert shift is not None and shift["shift"] < 0.05
+
+    def test_diff_render_contrasts_the_schemes(self, flap_artifacts):
+        text = render_diff(
+            flap_artifacts["clove-ecn"]["view"],
+            flap_artifacts["ecmp"]["view"],
+            label_a="clove-ecn", label_b="ecmp",
+        )
+        assert "moved away from" in text
+        assert "mean residency shift" in text
+
+
+# ----------------------------------------------------------------------
+# Renders + the `repro trace` CLI
+# ----------------------------------------------------------------------
+class TestTraceRenders:
+    def test_summary_lists_kind_counts(self, flap_artifacts):
+        text = render_summary(flap_artifacts["clove-ecn"]["view"])
+        assert "flow=" in text and "flowlet=" in text
+
+    def test_paths_table_ranks_by_bytes(self, flap_artifacts):
+        text = render_paths(flap_artifacts["clove-ecn"]["view"])
+        assert "flowlets" in text and "%" in text
+
+    def test_critical_lists_reactions_or_outages(self, flap_artifacts):
+        text = render_critical(flap_artifacts["clove-ecn"]["view"])
+        assert "critical chains:" in text
+
+    def test_flow_tree_walks_children(self, flap_artifacts):
+        view = flap_artifacts["clove-ecn"]["view"]
+        scope = view.scopes()[0]
+        flow = view.spans(scope, "flow")[0]
+        text = render_flow(view, f"{scope}:{flow.sid}")
+        assert flow.name in text and "status=" in text
+
+    def test_empty_view_renders_placeholders(self):
+        view = TraceView({})
+        assert "(no spans)" in render_summary(view)
+        assert "(no spans)" in render_paths(view)
+        assert "(no reaction spans)" in render_critical(view)
+
+
+class TestTraceCli:
+    def test_summary_flow_paths_critical(self, flap_artifacts, capsys):
+        path = flap_artifacts["clove-ecn"]["path"]
+        assert main(["trace", "summary", path]) == 0
+        assert "trace summary:" in capsys.readouterr().out
+        assert main(["trace", "paths", path]) == 0
+        assert "path residency:" in capsys.readouterr().out
+        assert main(["trace", "critical", path]) == 0
+        capsys.readouterr()
+        view = flap_artifacts["clove-ecn"]["view"]
+        scope = view.scopes()[0]
+        sid = view.spans(scope, "flow")[0].sid
+        assert main(["trace", "flow", path, f"{scope[:8]}:{sid}"]) == 0
+        assert "flow " in capsys.readouterr().out
+
+    def test_diff_and_chrome(self, flap_artifacts, tmp_path, capsys):
+        a = flap_artifacts["clove-ecn"]["path"]
+        b = flap_artifacts["ecmp"]["path"]
+        assert main(["trace", "diff", a, b]) == 0
+        assert "mean residency shift" in capsys.readouterr().out
+        out = tmp_path / "chrome.json"
+        assert main(["trace", "chrome", a, str(out)]) == 0
+        capsys.readouterr()
+        _validate_chrome(json.loads(out.read_text()))
+
+    def test_artifact_without_spans_errors(self, tmp_path, capsys):
+        path = tmp_path / "plain.jsonl"
+        Telemetry(trace=False).export_jsonl(str(path))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "summary", str(path)])
+        assert excinfo.value.code == 1
+        assert "no trace spans" in capsys.readouterr().err
+
+    def test_run_with_trace_out_writes_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "run.trace.json.gz"
+        code = main([
+            "run", "ecmp", "--load", "0.3", "--jobs-per-client", "4",
+            "--trace-out", str(out),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        with gzip.open(out, "rt", encoding="utf-8") as fh:
+            _validate_chrome(json.load(fh))
