@@ -1,0 +1,99 @@
+"""Auditor overhead benchmark: records wall times to BENCH_audit.json.
+
+Runs the same experiment point three ways and appends a shared-schema
+record (see :mod:`repro.harness.bench`) to ``benchmarks/BENCH_audit.json``
+with ``baseline_s`` = plain, ``wall_s`` = audit-enabled (the gated
+variant)::
+
+    {"bench": "audit", "recorded_unix": ..., "git_rev": "...",
+     "baseline_s": 4.1, "wall_s": 4.2, "overhead_pct": 2.4,
+     "gate_pct": 5.0, "within_target": true,
+     "off_s": 4.1, "disabled_overhead_pct": 0.1, ...}
+
+* **plain** — ``audit=None`` (the hot-path baseline);
+* **off** — a second ``audit=None`` pass.  An unaudited run takes the
+  untouched fast dispatch loop (one ``sim.auditor is None`` check per
+  ``run()`` call plus ``_audit is None`` checks on the vswitch ECN
+  paths), so the disabled cost is structurally ~0; timing the same
+  configuration twice documents that against the measurement noise floor;
+* **on** — ``audit="report"``: the audited dispatch loop (per-event
+  digest mixing + monotonicity check), the vswitch ECN-causality hooks,
+  per-chunk invariant checkpoints and the end-of-run conservation ledger.
+
+The gate is on the *enabled* cost: auditing must stay < 5% over plain.
+The disabled delta is recorded for visibility against a ~0% expectation
+but not gated — it measures noise, not code.  Not a pytest benchmark —
+invoke directly::
+
+    PYTHONPATH=src python benchmarks/bench_audit.py [--repeats 3] [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.harness.bench import append_record, make_record
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.metrics import standard_metrics
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_audit.json"
+
+
+def _config(full: bool, audit: Optional[str]) -> ExperimentConfig:
+    if full:
+        return ExperimentConfig(scheme="clove-ecn", load=0.7,
+                                jobs_per_client=60, audit=audit)
+    return ExperimentConfig(scheme="clove-ecn", load=0.5, jobs_per_client=20,
+                            clients_per_leaf=2, connections_per_client=1,
+                            audit=audit)
+
+
+def _time_run(full: bool, repeats: int, audit: Optional[str] = None) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        standard_metrics(run_experiment(_config(full, audit)))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(repeats: int, full: bool) -> dict:
+    """Time plain vs audit-off vs audit-on; return the benchmark record."""
+    plain_s = _time_run(full, repeats)
+    off_s = _time_run(full, repeats)
+    on_s = _time_run(full, repeats, audit="report")
+    disabled = (off_s - plain_s) / plain_s * 100.0 if plain_s else 0.0
+    return make_record(
+        "audit", plain_s, on_s, 5.0,
+        repeats=repeats,
+        full=full,
+        off_s=round(off_s, 3),
+        disabled_overhead_pct=round(disabled, 2),
+    )
+
+
+def main() -> int:
+    """CLI entry: run the benchmark and append its record to BENCH_audit.json."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per variant (best-of wins)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-ish per-point cost instead of CI-sized")
+    args = parser.parse_args()
+
+    record = run(args.repeats, args.full)
+    append_record(RESULTS_PATH, record)
+    print(json.dumps(record, indent=2))
+    if not record["within_target"]:
+        print(f"WARNING: enabled-auditor overhead "
+              f"{record['overhead_pct']}% exceeds the 5% target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

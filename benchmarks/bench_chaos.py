@@ -3,12 +3,12 @@
 Runs the same experiment point twice — once plain, once with an active
 :class:`~repro.chaos.engine.ChaosEngine` executing a *benign* plan (a
 degrade to factor 1.0 plus its restore: two scheduled injections, zero
-effect on the traffic) — and appends a record to
-``benchmarks/BENCH_chaos.json``::
+effect on the traffic) — and appends a shared-schema record (see
+:mod:`repro.harness.bench`) to ``benchmarks/BENCH_chaos.json``::
 
-    {"recorded_unix": ..., "git_rev": "...",
-     "plain_s": 4.1, "chaos_s": 4.2, "overhead_pct": 1.7,
-     "within_target": true}
+    {"bench": "chaos", "recorded_unix": ..., "git_rev": "...",
+     "baseline_s": 4.1, "wall_s": 4.2, "overhead_pct": 1.7,
+     "gate_pct": 5.0, "within_target": true, ...}
 
 The benign plan isolates the cost of the engine itself (event scheduling,
 marker recording, recovery-metric computation) from the cost of simulating
@@ -32,9 +32,9 @@ import time
 from pathlib import Path
 
 from repro.chaos import FaultEvent, FaultPlan
+from repro.harness.bench import append_record, make_record
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.harness.metrics import standard_metrics
-from repro.telemetry.core import git_revision
 
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_chaos.json"
 HEALTH_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_health.json"
@@ -71,17 +71,8 @@ def run(repeats: int, full: bool) -> dict:
     """Time plain vs chaos-carrying runs; return the benchmark record."""
     plain_s = _time_run(full, None, repeats)
     chaos_s = _time_run(full, BENIGN_PLAN, repeats)
-    overhead = (chaos_s - plain_s) / plain_s * 100.0 if plain_s else 0.0
-    return {
-        "recorded_unix": time.time(),
-        "git_rev": git_revision(),
-        "repeats": repeats,
-        "full": full,
-        "plain_s": round(plain_s, 3),
-        "chaos_s": round(chaos_s, 3),
-        "overhead_pct": round(overhead, 2),
-        "within_target": overhead < 5.0,
-    }
+    return make_record("chaos", plain_s, chaos_s, 5.0,
+                       repeats=repeats, full=full)
 
 
 def run_health(repeats: int, full: bool) -> dict:
@@ -92,25 +83,8 @@ def run_health(repeats: int, full: bool) -> dict:
     """
     plain_s = _time_run(full, None, repeats)
     health_s = _time_run(full, None, repeats, health=True)
-    overhead = (health_s - plain_s) / plain_s * 100.0 if plain_s else 0.0
-    return {
-        "recorded_unix": time.time(),
-        "git_rev": git_revision(),
-        "repeats": repeats,
-        "full": full,
-        "plain_s": round(plain_s, 3),
-        "health_s": round(health_s, 3),
-        "overhead_pct": round(overhead, 2),
-        "within_target": overhead < 5.0,
-    }
-
-
-def _append(path: Path, record: dict) -> None:
-    history = []
-    if path.exists():
-        history = json.loads(path.read_text())
-    history.append(record)
-    path.write_text(json.dumps(history, indent=2) + "\n")
+    return make_record("health", plain_s, health_s, 5.0,
+                       repeats=repeats, full=full)
 
 
 def main() -> int:
@@ -126,7 +100,7 @@ def main() -> int:
     args = parser.parse_args()
 
     record = run(args.repeats, args.full)
-    _append(RESULTS_PATH, record)
+    append_record(RESULTS_PATH, record)
     print(json.dumps(record, indent=2))
     status = 0
     if not record["within_target"]:
@@ -136,7 +110,7 @@ def main() -> int:
 
     if args.health:
         health_record = run_health(args.repeats, args.full)
-        _append(HEALTH_RESULTS_PATH, health_record)
+        append_record(HEALTH_RESULTS_PATH, health_record)
         print(json.dumps(health_record, indent=2))
         if not health_record["within_target"]:
             print("WARNING: PathHealthMonitor overhead "

@@ -2,12 +2,15 @@
 
 Runs one (scheme x load x seed) grid twice through :func:`repro.runner.run_jobs`
 — once with ``jobs=1`` and once with ``jobs=N`` — asserts the two produce
-bit-identical series, and appends a record to ``benchmarks/BENCH_runner.json``::
+bit-identical series, and appends a shared-schema record (see
+:mod:`repro.harness.bench`; ``baseline_s`` = serial, ``wall_s`` =
+parallel, ungated — ``within_target`` tracks determinism instead) to
+``benchmarks/BENCH_runner.json``::
 
-    {"recorded_unix": ..., "git_rev": "...", "cpu_count": 4,
-     "grid": "2 schemes x 3 loads x 3 seeds", "n_points": 18,
-     "serial_s": 41.2, "parallel_s": 12.8, "speedup": 3.22,
-     "jobs": 4, "identical": true}
+    {"bench": "runner", "recorded_unix": ..., "git_rev": "...",
+     "baseline_s": 41.2, "wall_s": 12.8, "gate_pct": null,
+     "within_target": true, "cpu_count": 4, "n_points": 18,
+     "speedup": 3.22, "jobs": 4, "identical": true, ...}
 
 Speedup tracks the machine: on a single-core container the parallel run is
 expected to be no faster (the record still documents determinism).  Not a
@@ -24,10 +27,10 @@ import os
 import time
 from pathlib import Path
 
+from repro.harness.bench import append_record, make_record
 from repro.harness.experiment import ExperimentConfig
 from repro.harness.sweep import series_equal, sweep_loads
 from repro.runner import RunnerConfig
-from repro.telemetry.core import git_revision
 
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_runner.json"
 
@@ -62,18 +65,17 @@ def run(jobs: int, full: bool) -> dict:
     )
     parallel_s = time.perf_counter() - start
 
-    return {
-        "recorded_unix": time.time(),
-        "git_rev": git_revision(),
-        "cpu_count": os.cpu_count(),
-        "grid": f"{len(SCHEMES)} schemes x {len(LOADS)} loads x {len(SEEDS)} seeds",
-        "n_points": n_points,
-        "serial_s": round(serial_s, 3),
-        "parallel_s": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 3) if parallel_s else None,
-        "jobs": jobs,
-        "identical": series_equal(serial, parallel),
-    }
+    identical = series_equal(serial, parallel)
+    return make_record(
+        "runner", serial_s, parallel_s, None,
+        within_target=identical,  # determinism, not an overhead gate
+        cpu_count=os.cpu_count(),
+        grid=f"{len(SCHEMES)} schemes x {len(LOADS)} loads x {len(SEEDS)} seeds",
+        n_points=n_points,
+        speedup=round(serial_s / parallel_s, 3) if parallel_s else None,
+        jobs=jobs,
+        identical=identical,
+    )
 
 
 def main() -> int:
@@ -86,11 +88,7 @@ def main() -> int:
     args = parser.parse_args()
 
     record = run(args.jobs, args.full)
-    history = []
-    if RESULTS_PATH.exists():
-        history = json.loads(RESULTS_PATH.read_text())
-    history.append(record)
-    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_record(RESULTS_PATH, record)
 
     print(json.dumps(record, indent=2))
     if not record["identical"]:

@@ -1,12 +1,14 @@
 """Tracer overhead benchmark: records wall times to BENCH_trace.json.
 
-Runs the same experiment point three ways and appends a record to
-``benchmarks/BENCH_trace.json``::
+Runs the same experiment point three ways and appends a shared-schema
+record (see :mod:`repro.harness.bench`) to ``benchmarks/BENCH_trace.json``
+with ``baseline_s`` = plain, ``wall_s`` = tracer-off (the gated variant)
+and the tracer-on cost riding along as extras::
 
-    {"recorded_unix": ..., "git_rev": "...",
-     "plain_s": 4.1, "off_s": 4.2, "on_s": 4.6,
-     "disabled_overhead_pct": 1.1, "enabled_overhead_pct": 9.8,
-     "within_target": true}
+    {"bench": "trace", "recorded_unix": ..., "git_rev": "...",
+     "baseline_s": 4.1, "wall_s": 4.2, "overhead_pct": 1.1,
+     "gate_pct": 5.0, "within_target": true,
+     "on_s": 4.6, "enabled_overhead_pct": 9.8, ...}
 
 * **plain** — no telemetry scope at all (the hot-path baseline);
 * **off** — telemetry attached but the tracer disabled
@@ -31,10 +33,10 @@ import time
 from pathlib import Path
 from typing import Optional
 
+from repro.harness.bench import append_record, make_record
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.harness.metrics import standard_metrics
 from repro.telemetry import Telemetry
-from repro.telemetry.core import git_revision
 
 RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_trace.json"
 
@@ -64,28 +66,14 @@ def run(repeats: int, full: bool) -> dict:
     plain_s = _time_run(full, repeats)
     off_s = _time_run(full, repeats, lambda: Telemetry(trace=False))
     on_s = _time_run(full, repeats, Telemetry)
-    disabled = (off_s - plain_s) / plain_s * 100.0 if plain_s else 0.0
     enabled = (on_s - plain_s) / plain_s * 100.0 if plain_s else 0.0
-    return {
-        "recorded_unix": time.time(),
-        "git_rev": git_revision(),
-        "repeats": repeats,
-        "full": full,
-        "plain_s": round(plain_s, 3),
-        "off_s": round(off_s, 3),
-        "on_s": round(on_s, 3),
-        "disabled_overhead_pct": round(disabled, 2),
-        "enabled_overhead_pct": round(enabled, 2),
-        "within_target": disabled < 5.0,
-    }
-
-
-def _append(path: Path, record: dict) -> None:
-    history = []
-    if path.exists():
-        history = json.loads(path.read_text())
-    history.append(record)
-    path.write_text(json.dumps(history, indent=2) + "\n")
+    return make_record(
+        "trace", plain_s, off_s, 5.0,
+        repeats=repeats,
+        full=full,
+        on_s=round(on_s, 3),
+        enabled_overhead_pct=round(enabled, 2),
+    )
 
 
 def main() -> int:
@@ -98,11 +86,11 @@ def main() -> int:
     args = parser.parse_args()
 
     record = run(args.repeats, args.full)
-    _append(RESULTS_PATH, record)
+    append_record(RESULTS_PATH, record)
     print(json.dumps(record, indent=2))
     if not record["within_target"]:
         print(f"WARNING: disabled-tracer overhead "
-              f"{record['disabled_overhead_pct']}% exceeds the 5% target")
+              f"{record['overhead_pct']}% exceeds the 5% target")
         return 1
     return 0
 

@@ -1,0 +1,208 @@
+"""Audit findings and the per-run :class:`AuditReport`.
+
+A *finding* is one observed invariant violation: which invariant, how bad,
+when (sim time) and enough context to reproduce the check by hand.  The
+report keeps the **first** finding per invariant with full context and
+counts repeats — a corrupted counter violates conservation on every
+subsequent checkpoint, and a thousand copies of the same finding would
+bury the one line that matters.
+
+Modes:
+
+* ``strict`` — the first finding raises :class:`AuditError` at the point
+  of detection (tests, CI smoke runs);
+* ``report`` — findings accumulate and the run continues (long
+  experiments, where the report is inspected afterwards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: finding severities, mildest first
+SEV_WARNING = "warning"
+SEV_ERROR = "error"
+SEV_CRITICAL = "critical"
+
+SEVERITIES = (SEV_WARNING, SEV_ERROR, SEV_CRITICAL)
+
+#: report modes
+MODE_STRICT = "strict"
+MODE_REPORT = "report"
+MODES = (MODE_STRICT, MODE_REPORT)
+
+
+@dataclass
+class AuditFinding:
+    """One invariant violation (the first occurrence carries the context)."""
+
+    invariant: str                       # e.g. "conservation.global"
+    severity: str = SEV_ERROR
+    message: str = ""
+    time: float = 0.0                    # sim time of first detection
+    context: Dict[str, Any] = field(default_factory=dict)
+    occurrences: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (inverse of :meth:`from_dict`)."""
+        return {
+            "invariant": self.invariant,
+            "severity": self.severity,
+            "message": self.message,
+            "time": self.time,
+            "context": dict(self.context),
+            "occurrences": self.occurrences,
+        }
+
+    @staticmethod
+    def from_dict(record: Dict[str, Any]) -> "AuditFinding":
+        return AuditFinding(
+            invariant=record.get("invariant", "?"),
+            severity=record.get("severity", SEV_ERROR),
+            message=record.get("message", ""),
+            time=float(record.get("time", 0.0)),
+            context=dict(record.get("context", {})),
+            occurrences=int(record.get("occurrences", 1)),
+        )
+
+
+class AuditError(AssertionError):
+    """Raised in strict mode at the first invariant violation."""
+
+    def __init__(self, finding: AuditFinding) -> None:
+        super().__init__(
+            f"[{finding.invariant}] {finding.message} "
+            f"(t={finding.time:.6f}, {finding.severity})"
+        )
+        self.finding = finding
+
+
+class AuditReport:
+    """Per-invariant pass/fail record of one audited run (or replay)."""
+
+    def __init__(self, mode: str = MODE_REPORT) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown audit mode {mode!r} (expected {MODES})")
+        self.mode = mode
+        #: first finding per invariant, in detection order
+        self.findings: List[AuditFinding] = []
+        self._by_invariant: Dict[str, AuditFinding] = {}
+        #: invariant name -> how many times it was checked (pass or fail)
+        self.checked: Dict[str, int] = {}
+        #: rendered determinism digest ("<state hex>:<count>"), stamped by
+        #: the auditor at finalize time; None for offline replays of
+        #: artifacts that were not audited in-process
+        self.digest: Optional[str] = None
+        #: free-form provenance ("in-process" run vs "offline" replay path)
+        self.source: str = "in-process"
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def note_checked(self, invariant: str, n: int = 1) -> None:
+        """Count ``n`` executions of one invariant's check."""
+        self.checked[invariant] = self.checked.get(invariant, 0) + n
+
+    def record(
+        self,
+        invariant: str,
+        message: str,
+        time: float = 0.0,
+        severity: str = SEV_ERROR,
+        **context: Any,
+    ) -> AuditFinding:
+        """Record one violation; raises :class:`AuditError` in strict mode.
+
+        Repeat violations of an already-failed invariant only bump its
+        ``occurrences`` counter — the first one keeps the context.
+        """
+        existing = self._by_invariant.get(invariant)
+        if existing is not None:
+            existing.occurrences += 1
+            return existing
+        finding = AuditFinding(
+            invariant=invariant, severity=severity, message=message,
+            time=time, context=context,
+        )
+        self._by_invariant[invariant] = finding
+        self.findings.append(finding)
+        if self.mode == MODE_STRICT:
+            raise AuditError(finding)
+        return finding
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        """True when not a single invariant was violated."""
+        return not self.findings
+
+    @property
+    def violations(self) -> int:
+        """Total violation occurrences across all invariants."""
+        return sum(f.occurrences for f in self.findings)
+
+    def first(self, invariant: str) -> Optional[AuditFinding]:
+        """The first finding recorded for ``invariant`` (None = passed)."""
+        return self._by_invariant.get(invariant)
+
+    def invariants(self) -> List[str]:
+        """Names of every violated invariant, in detection order."""
+        return [f.invariant for f in self.findings]
+
+    # ------------------------------------------------------------------
+    # Serialization (crosses the runner's process boundary as plain JSON)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form (inverse of :meth:`from_dict`); rides the
+        runner's result cache and the telemetry manifest."""
+        return {
+            "mode": self.mode,
+            "ok": self.ok,
+            "source": self.source,
+            "digest": self.digest,
+            "violations": self.violations,
+            "checked": dict(self.checked),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    @staticmethod
+    def from_dict(record: Dict[str, Any]) -> "AuditReport":
+        report = AuditReport(mode=record.get("mode", MODE_REPORT))
+        report.source = record.get("source", "in-process")
+        report.digest = record.get("digest")
+        report.checked = dict(record.get("checked", {}))
+        for raw in record.get("findings", ()):
+            finding = AuditFinding.from_dict(raw)
+            report.findings.append(finding)
+            report._by_invariant[finding.invariant] = finding
+        return report
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable pass/fail summary, one line per invariant."""
+        lines = [
+            f"audit: {'PASS' if self.ok else 'FAIL'} "
+            f"({len(self.findings)} invariant(s) violated, "
+            f"{self.violations} occurrence(s); "
+            f"{sum(self.checked.values())} checks over "
+            f"{len(self.checked)} invariant(s))"
+        ]
+        if self.digest is not None:
+            lines.append(f"digest: {self.digest}")
+        for finding in self.findings:
+            lines.append(
+                f"  [{finding.severity}] {finding.invariant} "
+                f"x{finding.occurrences} @t={finding.time:.6f}: "
+                f"{finding.message}"
+            )
+            if finding.context:
+                context = ", ".join(
+                    f"{k}={v}" for k, v in sorted(finding.context.items())
+                )
+                lines.append(f"      {context}")
+        return "\n".join(lines)

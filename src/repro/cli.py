@@ -13,12 +13,19 @@ Subcommands:
   reaction chains, A/B diffs, Chrome/Perfetto export);
 * ``cache``     — list or clear a ``--cache-dir`` result cache;
 * ``chaos``     — list/show fault-plan presets, or recompute recovery
-  metrics offline from a telemetry artifact.
+  metrics offline from a telemetry artifact;
+* ``audit``     — runtime invariant checking (:mod:`repro.audit`):
+  ``audit run`` executes one audited point and prints the invariant
+  report, ``audit check`` replays a telemetry artifact through the
+  offline checks, ``audit diff`` compares the determinism digests of
+  two artifacts;
+* ``bench``     — render the ``benchmarks/BENCH_*.json`` trend table.
 
 ``run``, ``sweep`` and ``figure`` accept ``--chaos FILE`` (a serialized
 :class:`~repro.chaos.plan.FaultPlan`) or ``--chaos-preset NAME`` to inject
 faults mid-run; ``run`` then also reports time-to-recover and fault-window
-FCT inflation (:mod:`repro.chaos.metrics`).
+FCT inflation (:mod:`repro.chaos.metrics`).  They also accept
+``--audit strict|report`` to run under the invariant auditor.
 
 ``run``, ``sweep`` and ``incast`` take ``-j/--jobs`` (parallel worker
 processes) and ``--cache-dir`` (resumable result cache) — the
@@ -32,6 +39,16 @@ import math
 import sys
 from typing import List, Optional
 
+from repro.audit import (
+    AuditError,
+    AuditReport,
+    MODE_REPORT,
+    MODE_STRICT,
+    MODES,
+    audit_artifact,
+    diff_digests,
+    digest_events,
+)
 from repro.chaos import FaultPlan, iter_presets, preset
 from repro.harness.experiment import ExperimentConfig, SCHEMES
 from repro.harness.report import render_bar_chart, render_cdf, render_table
@@ -145,6 +162,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         metavar="SECONDS",
                         help="how long switches keep a dead link in their "
                              "ECMP groups (0 = idealized instant failover)")
+    parser.add_argument("--audit", choices=MODES, default=None,
+                        metavar="MODE",
+                        help="run under the invariant auditor: 'strict' "
+                             "raises on the first violation, 'report' "
+                             "collects them (see `repro audit`)")
 
 
 def _chaos_plan(args) -> Optional[FaultPlan]:
@@ -181,6 +203,7 @@ def _config(args, scheme: Optional[str] = None) -> ExperimentConfig:
         chaos=_chaos_plan(args),
         health=args.health,
         failover_delay_s=args.failover_delay,
+        audit=getattr(args, "audit", None),
     )
 
 
@@ -215,6 +238,16 @@ def cmd_run(args) -> int:
         _print_chaos_metrics(m)
     if args.health:
         _print_health_metrics(m)
+    if result.audit is not None:
+        # result is a JobResult: its audit block is the serialized report.
+        report = AuditReport.from_dict(result.audit)
+        if report.ok:
+            print(f"audit        : ok (digest {report.digest})")
+        else:
+            first = report.findings[0]
+            print(f"audit        : {report.violations} violation(s); "
+                  f"first [{first.invariant}] {first.message}")
+            return 1
     return 0
 
 
@@ -346,18 +379,22 @@ def cmd_telemetry(args) -> int:
         dump = load_jsonl(args.file)
     except (OSError, ValueError) as exc:  # ValueError covers malformed JSON
         print(f"cannot read {args.file!r}: {exc}", file=sys.stderr)
-        return 1
+        return 2
     print(render_dump(dump, top=args.top, sample=args.sample))
     return 0
 
 
 def _load_trace_view(path: str) -> TraceView:
-    """TraceView from a ``--telemetry-out`` artifact (exits 1 on failure)."""
+    """TraceView from a ``--telemetry-out`` artifact.
+
+    Exits 2 on an unreadable/malformed artifact (usage error), 1 on a
+    readable artifact that simply holds no spans.
+    """
     try:
         dump = load_jsonl(path)
     except (OSError, ValueError) as exc:
         print(f"cannot read {path!r}: {exc}", file=sys.stderr)
-        raise SystemExit(1)
+        raise SystemExit(2)
     view = TraceView.from_records(dump["spans"], dump.get("spans_dropped", 0))
     if not view.scopes():
         print(f"{path}: no trace spans found (was the run recorded with "
@@ -415,7 +452,7 @@ def cmd_chaos(args) -> int:
         dump = load_jsonl(args.file)
     except (OSError, ValueError) as exc:
         print(f"cannot read {args.file!r}: {exc}", file=sys.stderr)
-        return 1
+        return 2
     records = dump["events"] + dump["manifests"]
     report = recovery_from_records(records)
     if report is None:
@@ -428,6 +465,80 @@ def cmd_chaos(args) -> int:
     if health is not None:
         print()
         print(format_health_report(health))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    """Handle ``repro audit``: audited runs, offline checks, digest diffs."""
+    if args.audit_command == "run":
+        return _audit_run(args)
+    if args.audit_command == "check":
+        mode = MODE_STRICT if args.strict else MODE_REPORT
+        try:
+            report = audit_artifact(args.file, mode=mode)
+        except AuditError as exc:
+            print(f"audit violation (strict): {exc}", file=sys.stderr)
+            return 1
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.file!r}: {exc}", file=sys.stderr)
+            return 2
+        print(report.summary())
+        return 0 if report.ok else 1
+    # diff: compare the determinism digests of two artifacts.
+    digests = []
+    for path in (args.file_a, args.file_b):
+        try:
+            dump = load_jsonl(path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {path!r}: {exc}", file=sys.stderr)
+            return 2
+        digests.append(_artifact_digest(dump))
+    verdict = diff_digests(digests[0], digests[1])
+    print(verdict)
+    return 0 if verdict.startswith("identical") else 1
+
+
+def _artifact_digest(dump) -> str:
+    """An artifact's determinism digest: the audited-run digest stamped in
+    its manifest when present, else a digest over the recorded events."""
+    digest = None
+    for manifest in dump.get("manifests", ()):
+        audit_info = manifest.get("audit")
+        if isinstance(audit_info, dict) and audit_info.get("digest"):
+            digest = audit_info["digest"]
+    return digest if digest is not None else digest_events(dump.get("events", ()))
+
+
+def _audit_run(args) -> int:
+    """``repro audit run``: one audited point, full invariant report."""
+    from repro.harness.experiment import run_experiment
+
+    tel = _make_telemetry(args)
+    try:
+        result = run_experiment(_config(args), telemetry=tel)
+    except AuditError as exc:
+        _finish_telemetry(tel, args)
+        print(f"audit violation (strict): {exc}", file=sys.stderr)
+        return 1
+    _finish_telemetry(tel, args)
+    report = result.audit
+    if report is None:  # cannot happen: the subparser defaults audit mode
+        print("run was not audited", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_bench(args) -> int:
+    """Handle ``repro bench report``: the benchmark-history trend table."""
+    from repro.harness.bench import render_report
+
+    try:
+        print(render_report(args.dir))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read benchmark histories under {args.dir!r}: {exc}",
+              file=sys.stderr)
+        return 2
     return 0
 
 
@@ -563,6 +674,42 @@ def build_parser() -> argparse.ArgumentParser:
                        "--telemetry-out artifact")
     p_report.add_argument("file", help="JSONL file written by --telemetry-out")
     p_report.set_defaults(fn=cmd_chaos)
+
+    p_audit = sub.add_parser(
+        "audit", help="runtime invariant checks: audited runs, offline "
+                      "artifact replay, determinism digest diffs")
+    audit_sub = p_audit.add_subparsers(dest="audit_command", required=True)
+    p_arun = audit_sub.add_parser(
+        "run", help="run one audited experiment point and print the "
+                    "invariant report (exit 1 on violations)")
+    p_arun.add_argument("scheme", choices=SCHEMES)
+    _add_common(p_arun)
+    _add_telemetry_opts(p_arun)
+    p_arun.set_defaults(fn=cmd_audit, audit=MODE_REPORT)
+    p_acheck = audit_sub.add_parser(
+        "check", help="replay a --telemetry-out artifact through the "
+                      "offline invariant checks")
+    p_acheck.add_argument("file", help="JSONL(.gz) file written by "
+                                       "--telemetry-out")
+    p_acheck.add_argument("--strict", action="store_true",
+                          help="raise on the first violation instead of "
+                               "collecting a report")
+    p_acheck.set_defaults(fn=cmd_audit)
+    p_adiff = audit_sub.add_parser(
+        "diff", help="compare the determinism digests of two artifacts "
+                     "(proves serial-vs-parallel / run-vs-rerun identity)")
+    p_adiff.add_argument("file_a", help="first telemetry artifact")
+    p_adiff.add_argument("file_b", help="second telemetry artifact")
+    p_adiff.set_defaults(fn=cmd_audit)
+
+    p_bench = sub.add_parser(
+        "bench", help="benchmark-history reports (benchmarks/BENCH_*.json)")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_breport = bench_sub.add_parser(
+        "report", help="render every BENCH_*.json history as one trend table")
+    p_breport.add_argument("--dir", default="benchmarks", metavar="DIR",
+                           help="directory holding the BENCH_*.json files")
+    p_breport.set_defaults(fn=cmd_bench)
 
     p_cache = sub.add_parser("cache", help="inspect or clear a result cache")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)

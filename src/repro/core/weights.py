@@ -200,6 +200,52 @@ class WeightedPathTable:
         """``(port, state)`` for every installed path towards ``dst_ip``."""
         return [(s.port, s.state) for s in self._paths.get(dst_ip, [])]
 
+    def invariant_violations(self, tolerance: float = 1e-6) -> List[Dict[str, object]]:
+        """Structural self-check for :mod:`repro.audit`.
+
+        Verifies, per destination: selectable (non-quarantined) weights sum
+        to 1, every weight is non-negative, quarantined paths are pinned at
+        exactly zero, and every state is a known liveness state.  Returns
+        one ``{"message": ..., **context}`` dict per violation (empty list
+        = table is sound; all-quarantined groups have nothing to sum).
+        """
+        violations: List[Dict[str, object]] = []
+        known = (STATE_LIVE, STATE_PROBATION, STATE_QUARANTINED)
+        for dst_ip, states in self._paths.items():
+            selectable_sum = 0.0
+            any_selectable = False
+            for s in states:
+                if s.state not in known:
+                    violations.append({
+                        "message": f"port {s.port} towards {dst_ip} in "
+                                   f"unknown state {s.state!r}",
+                        "dst": dst_ip, "port": s.port,
+                    })
+                if s.weight < 0:
+                    violations.append({
+                        "message": f"port {s.port} towards {dst_ip} has "
+                                   f"negative weight {s.weight:.9f}",
+                        "dst": dst_ip, "port": s.port, "weight": s.weight,
+                    })
+                if s.state == STATE_QUARANTINED:
+                    if s.weight != 0.0:
+                        violations.append({
+                            "message": f"quarantined port {s.port} towards "
+                                       f"{dst_ip} holds weight {s.weight:.9f}"
+                                       f" (must be 0)",
+                            "dst": dst_ip, "port": s.port, "weight": s.weight,
+                        })
+                else:
+                    any_selectable = True
+                    selectable_sum += s.weight
+            if any_selectable and abs(selectable_sum - 1.0) > tolerance:
+                violations.append({
+                    "message": f"selectable weights towards {dst_ip} sum to "
+                               f"{selectable_sum:.9f} (expected 1)",
+                    "dst": dst_ip, "total": selectable_sum,
+                })
+        return violations
+
     # ------------------------------------------------------------------
     # Liveness lifecycle (driven by repro.core.health)
     # ------------------------------------------------------------------

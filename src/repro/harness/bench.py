@@ -1,0 +1,160 @@
+"""Shared benchmark-record schema and the ``repro bench report`` table.
+
+Every ``benchmarks/bench_*.py`` script appends records to its
+``benchmarks/BENCH_<name>.json`` history.  They all share one core schema
+so the trend across subsystems is readable as a set::
+
+    {"bench": "trace",            # subsystem name
+     "recorded_unix": ...,        # when
+     "git_rev": "...",            # at which commit
+     "baseline_s": 0.313,         # wall time without the feature
+     "wall_s": 0.323,             # wall time with the feature (the gated one)
+     "overhead_pct": 3.18,        # (wall - baseline) / baseline
+     "gate_pct": 5.0,             # the target; null = ungated (e.g. speedup)
+     "within_target": true,
+     ...}                         # subsystem extras ride along untouched
+
+:func:`make_record` builds the shared core (plus extras),
+:func:`append_record` maintains the JSON history list, and
+:func:`render_report` renders every history under a directory as one
+trend table — ``repro bench report`` is a thin wrapper over it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.telemetry.core import git_revision
+
+#: the keys every benchmark record carries (extras ride along)
+SHARED_KEYS = (
+    "bench", "recorded_unix", "git_rev",
+    "baseline_s", "wall_s", "overhead_pct", "gate_pct", "within_target",
+)
+
+
+def make_record(
+    bench: str,
+    baseline_s: float,
+    wall_s: float,
+    gate_pct: Optional[float],
+    **extras: Any,
+) -> Dict[str, Any]:
+    """One shared-schema benchmark record.
+
+    ``gate_pct`` of None marks an ungated record (a speedup benchmark);
+    ``within_target`` then defaults to True unless an extra overrides it.
+    """
+    overhead = (wall_s - baseline_s) / baseline_s * 100.0 if baseline_s else 0.0
+    record: Dict[str, Any] = {
+        "bench": bench,
+        "recorded_unix": time.time(),
+        "git_rev": git_revision(),
+        "baseline_s": round(baseline_s, 3),
+        "wall_s": round(wall_s, 3),
+        "overhead_pct": round(overhead, 2),
+        "gate_pct": gate_pct,
+        "within_target": overhead < gate_pct if gate_pct is not None else True,
+    }
+    record.update(extras)
+    return record
+
+
+def append_record(path: Union[str, Path], record: Dict[str, Any]) -> None:
+    """Append ``record`` to the JSON history list at ``path``."""
+    path = Path(path)
+    history: List[Dict[str, Any]] = []
+    if path.exists():
+        history = json.loads(path.read_text())
+    history.append(record)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def load_records(bench_dir: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Every record from every ``BENCH_*.json`` under ``bench_dir``.
+
+    Records predating the shared schema are normalized best-effort (the
+    file stem names the bench; overhead fields are carried when present).
+    Raises ``OSError`` when the directory is unreadable; a malformed
+    history file raises ``ValueError`` naming the file.
+    """
+    bench_dir = Path(bench_dir)
+    if not bench_dir.is_dir():
+        raise OSError(f"{bench_dir}: not a directory")
+    records: List[Dict[str, Any]] = []
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        try:
+            history = json.loads(path.read_text())
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from exc
+        stem = path.stem[len("BENCH_"):]
+        for raw in history:
+            if isinstance(raw, dict):
+                records.append(_normalize(raw, stem))
+    return records
+
+
+def _normalize(record: Dict[str, Any], stem: str) -> Dict[str, Any]:
+    if "bench" in record and "wall_s" in record:
+        return record
+    out = dict(record)
+    out.setdefault("bench", stem)
+    out.setdefault("gate_pct", None)
+    out.setdefault("within_target", bool(record.get("within_target", True)))
+    # Pre-consolidation variant keys, best-effort.
+    for baseline_key in ("plain_s", "serial_s"):
+        if baseline_key in record:
+            out.setdefault("baseline_s", record[baseline_key])
+            break
+    for wall_key in ("chaos_s", "health_s", "off_s", "parallel_s"):
+        if wall_key in record:
+            out.setdefault("wall_s", record[wall_key])
+            break
+    if "overhead_pct" not in out and "disabled_overhead_pct" in record:
+        out["overhead_pct"] = record["disabled_overhead_pct"]
+    return out
+
+
+def render_report(bench_dir: Union[str, Path]) -> str:
+    """The benchmark trend table, one row per record, grouped by bench."""
+    records = load_records(bench_dir)
+    if not records:
+        return f"(no BENCH_*.json histories under {bench_dir})"
+    records.sort(key=lambda r: (r.get("bench", "?"), r.get("recorded_unix", 0.0)))
+    header = (
+        f"{'bench':<8} {'recorded':<10} {'rev':<8} "
+        f"{'base_s':>7} {'wall_s':>7} {'ovh%':>7} {'gate':>6}  ok"
+    )
+    lines = [header, "-" * len(header)]
+    for record in records:
+        when = record.get("recorded_unix")
+        day = (
+            datetime.fromtimestamp(when, tz=timezone.utc).strftime("%Y-%m-%d")
+            if isinstance(when, (int, float)) else "?"
+        )
+        rev = (record.get("git_rev") or "?")[:7]
+        gate = record.get("gate_pct")
+        lines.append(
+            f"{record.get('bench', '?'):<8} {day:<10} {rev:<8} "
+            f"{_num(record.get('baseline_s')):>7} "
+            f"{_num(record.get('wall_s')):>7} "
+            f"{_num(record.get('overhead_pct')):>7} "
+            f"{('<' + format(gate, 'g') if gate is not None else '-'):>6}  "
+            f"{'yes' if record.get('within_target', True) else 'NO'}"
+        )
+    failing = sum(1 for r in records if not r.get("within_target", True))
+    lines.append(
+        f"{len(records)} record(s)"
+        + (f", {failing} outside their gate" if failing else ", all within gates")
+    )
+    return "\n".join(lines)
+
+
+def _num(value: Any) -> str:
+    if isinstance(value, (int, float)):
+        return f"{value:.2f}"
+    return "-"

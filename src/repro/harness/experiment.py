@@ -25,6 +25,7 @@ import time
 from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.audit import Auditor, AuditReport
 from repro.baselines.conga import CongaLeafSwitch, CongaSpineSwitch, configure_conga
 from repro.baselines.ecmp import EcmpPolicy
 from repro.chaos.engine import ChaosEngine
@@ -110,6 +111,10 @@ class ExperimentConfig:
     #: seconds a dead link lingers in switch ECMP groups before the
     #: (modeled) routing agent repairs them; 0 = idealized instant failover
     failover_delay_s: float = 0.0
+    #: runtime invariant auditing (repro.audit): None = off (the fast
+    #: engine loop), "strict" raises at the first violation, "report"
+    #: accumulates findings into ``ExperimentResult.audit``
+    audit: Optional[str] = None
 
     def fault_plan(self) -> Optional[FaultPlan]:
         """The effective fault plan: ``chaos`` merged with the
@@ -178,6 +183,9 @@ class ExperimentResult:
     #: the chaos engine that executed the run's fault plan (None when the
     #: run was fault-free); its markers feed repro.chaos.metrics
     chaos: Optional[ChaosEngine] = None
+    #: the audit report when the run was audited (config.audit), with
+    #: per-invariant pass/fail and the determinism digest; None = unaudited
+    audit: Optional["AuditReport"] = None
 
     @property
     def avg_fct(self) -> float:
@@ -461,6 +469,21 @@ def run_experiment(
         )
         workload.attach_telemetry(tel)
 
+    # Attach the auditor before any traffic (probes included) can move:
+    # every CE mark observable by an echo postdates the hook.  The auditor
+    # schedules no events and draws no randomness — an audited run pops the
+    # exact event sequence an unaudited run would, so its digest describes
+    # the plain run.
+    auditor: Optional[Auditor] = None
+    if config.audit is not None:
+        auditor = Auditor(
+            mode=config.audit, telemetry=tel if tel.enabled else None
+        )
+        auditor.attach(
+            sim, net, hosts,
+            workload=workload, collector=collector, chaos=chaos_engine,
+        )
+
     if on_ready is not None:
         on_ready(sim, net, hosts)
 
@@ -477,6 +500,10 @@ def run_experiment(
     event_budget = 60_000_000
     while not workload.done and sim.now < config.max_sim_time:
         sim.run(until=sim.now + chunk)
+        if auditor is not None:
+            # Checkpoints ride the chunk boundary (a harness call, not a
+            # sim event) so serial and pooled runs checkpoint identically.
+            auditor.checkpoint()
         if sim.peek_time() is None:
             break
         if sim.events_processed > event_budget:
@@ -484,6 +511,10 @@ def run_experiment(
 
     if chaos_engine is not None:
         chaos_engine.finish()
+
+    audit_report: Optional[AuditReport] = None
+    if auditor is not None:
+        audit_report = auditor.finalize(drained=sim.peek_time() is None)
 
     if tel.enabled:
         tel.observe_network(net)
@@ -500,6 +531,8 @@ def run_experiment(
             manifest["wall_s"] = time.perf_counter() - wall_start
             manifest["sim_duration"] = sim.now
             manifest["sim_events"] = sim.events_processed
+            if auditor is not None:
+                manifest["audit"] = auditor.manifest_fields()
         if tel.trace.enabled:
             tel.trace.finish_run(sim.now)
 
@@ -513,4 +546,5 @@ def run_experiment(
         telemetry=tel if tel.enabled else None,
         manifest=manifest,
         chaos=chaos_engine,
+        audit=audit_report,
     )

@@ -54,6 +54,9 @@ METRIC_KEYS: Tuple[str, ...] = (
     "health_probes_lost",
     "health_detection_latency_s",
     "health_probation_s",
+    # total invariant-violation occurrences (repro.audit); NaN when the run
+    # was not audited, 0.0 on a clean audited run
+    "audit_violations",
 )
 
 _NAN = float("nan")
@@ -109,6 +112,9 @@ def standard_metrics(result) -> Dict[str, float]:
             health.detection_latency_s if health else _NAN
         ),
         "health_probation_s": health.probation_s if health else _NAN,
+        "audit_violations": (
+            float(result.audit.violations) if result.audit is not None else _NAN
+        ),
     }
 
 

@@ -48,6 +48,9 @@ class Host:
         #: path health monitor (repro.core.health); None = no self-healing
         self.health = None
         self.rx_packets = 0
+        #: packets this host put on its access link (the fabric-entry
+        #: chokepoint the conservation ledger balances against)
+        self.tx_nic_packets = 0
         #: telemetry scope shared with this host's transports (see
         #: :meth:`attach_telemetry`; None = uninstrumented)
         self.telemetry = None
@@ -89,6 +92,7 @@ class Host:
     # ------------------------------------------------------------------
     def nic_send(self, packet: Packet) -> None:
         """Put a (possibly encapsulated) packet on the access link."""
+        self.tx_nic_packets += 1
         self._uplink.send(packet)
 
     def receive(self, packet: Packet) -> None:

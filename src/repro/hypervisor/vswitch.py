@@ -102,6 +102,10 @@ class VSwitch:
     #: telemetry hooks; instances overwrite via :meth:`attach_telemetry`
     _tel_events = None
     _tel_trace = None
+    #: audit hook (repro.audit.Auditor); instances overwrite via
+    #: Auditor.attach — the same class-attr-None discipline keeps the
+    #: unaudited receive path to one ``is None`` test
+    _audit = None
 
     def attach_telemetry(self, telemetry) -> None:
         """Bind echo/rewrite event emission here and propagate to the policy."""
@@ -231,6 +235,8 @@ class VSwitch:
             if not state.ecn_pending:
                 state.ecn_seen_at = self.sim.now
             state.ecn_pending = True
+            if self._audit is not None:
+                self._audit.on_ce_observed(self.host.ip, remote, path_port)
         if packet.int_enabled:
             state.util = packet.int_max_util
             state.util_fresh = True
@@ -244,6 +250,10 @@ class VSwitch:
         # (2) consume any echo the remote attached about our forward paths.
         if self.policy is not None and packet.stt_echo_port is not None:
             self.echoes_received += 1
+            if self._audit is not None and packet.stt_echo_ecn:
+                self._audit.on_echo_consumed(
+                    self.host.ip, remote, packet.stt_echo_port
+                )
             if self._tel_events is not None:
                 self._tel_events.emit(
                     "clove.ecn_echo" if packet.stt_echo_ecn else "clove.int_echo",

@@ -60,6 +60,13 @@ class Link:
         # Counters.
         self.tx_packets = 0
         self.tx_bytes = 0
+        #: packets handed to the far-side receive handler
+        self.rx_delivered = 0
+        #: packets that finished serializing into a link that had died
+        #: (the only loss on a link that is not a counted queue drop)
+        self.lost_in_flight = 0
+        #: queued packets discarded by :meth:`fail` (also in stats.dropped)
+        self.flushed_packets = 0
 
     #: telemetry hooks; instances overwrite these via :meth:`attach_telemetry`
     #: (class attributes keep the uninstrumented path to one ``is None`` test)
@@ -135,11 +142,14 @@ class Link:
         # Propagation: the packet arrives delay_s after serialization ends.
         if self.up and self._receive is not None:
             self.sim.schedule(self.delay_s, self._deliver, packet)
+        else:
+            self.lost_in_flight += 1
         # Move on to the next queued packet immediately.
         self._start_transmission()
 
     def _deliver(self, packet: Packet) -> None:
         assert self._receive is not None
+        self.rx_delivered += 1
         self._receive(packet)
 
     # ------------------------------------------------------------------
@@ -155,6 +165,7 @@ class Link:
         while self.queue.dequeue(self.sim.now) is not None:
             self.queue.stats.dropped += 1
             flushed += 1
+        self.flushed_packets += flushed
         self._busy = False
         if self._tel_events is not None:
             self._tel_events.emit("link.down", self.sim.now,

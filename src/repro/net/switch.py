@@ -61,6 +61,10 @@ class Switch:
         self.failover_delay = 0.0
         self.rx_packets = 0
         self.blackholed = 0
+        #: packets consumed here because their TTL hit zero
+        self.ttl_expired = 0
+        #: ICMP Time-Exceeded replies this switch injected into the fabric
+        self.icmp_originated = 0
 
     #: telemetry hook; instances overwrite via :meth:`attach_telemetry`
     _tel_events = None
@@ -92,6 +96,7 @@ class Switch:
             self.on_trace(packet, link_in)
         packet.ttl -= 1
         if packet.ttl <= 0:
+            self.ttl_expired += 1
             if self._tel_events is not None:
                 self._tel_events.emit("switch.ttl_expired", self.sim.now,
                                       switch=self.name,
@@ -176,6 +181,7 @@ class Switch:
         reply.meta["hop_interface"] = link_in.name if link_in is not None else self.name
         reply.meta["orig"] = key
         reply.meta["probe_id"] = packet.meta.get("probe_id")
+        self.icmp_originated += 1
         self.forward(reply, None)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -103,9 +103,18 @@ class ResultCache:
     # Mutation
     # ------------------------------------------------------------------
     def put(
-        self, spec: JobSpec, metrics: Dict[str, Any], wall_s: float = 0.0
+        self,
+        spec: JobSpec,
+        metrics: Dict[str, Any],
+        wall_s: float = 0.0,
+        audit: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        """Append one completed job's payload; returns the stored record."""
+        """Append one completed job's payload; returns the stored record.
+
+        ``audit`` is the run's serialized AuditReport (repro.audit) when
+        the job was audited — cache hits restore it, so a cached audited
+        sweep still reports its digests and verdicts.
+        """
         record = {
             "schema": SCHEMA_VERSION,
             "fingerprint": spec.fingerprint,
@@ -116,6 +125,8 @@ class ResultCache:
             "wall_s": wall_s,
             "recorded_unix": time.time(),
         }
+        if audit is not None:
+            record["audit"] = audit
         with open(self.path, "a", encoding="utf-8") as fp:
             fp.write(json.dumps(record, default=str))
             fp.write("\n")

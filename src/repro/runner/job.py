@@ -34,7 +34,10 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 #: ``failover_delay_s``.
 #: v4: causal trace spans joined the cross-process telemetry state
 #: (``dump_state`` grew a ``trace`` key merged on absorb).
-SCHEMA_VERSION = 4
+#: v5: ``audit_violations`` joined the standard payload,
+#: ``ExperimentConfig`` grew the ``audit`` mode field, and cache records
+#: carry an optional serialized AuditReport under ``audit``.
+SCHEMA_VERSION = 5
 
 #: the kinds of work the runner knows how to execute
 JOB_KINDS = ("experiment", "incast")

@@ -72,6 +72,9 @@ class JobResult:
     error: Optional[str] = None
     #: wall seconds the (last) execution took (0 for cache hits)
     wall_s: float = 0.0
+    #: the run's serialized AuditReport (repro.audit) when the job was
+    #: audited; restored from the cache on hits, None when unaudited
+    audit: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -109,7 +112,8 @@ def run_jobs(
         entry = cache.get(spec.fingerprint) if cache is not None else None
         if entry is not None:
             results[index] = JobResult(
-                spec, dict(entry["metrics"]), cached=True
+                spec, dict(entry["metrics"]), cached=True,
+                audit=entry.get("audit"),
             )
             if tel_enabled:
                 telemetry.manifest(
@@ -158,10 +162,14 @@ def _run_serial(specs, pending, results, cache, telemetry, progress) -> None:
             progress.job_done(failed=True)
             continue
         results[index] = JobResult(
-            spec, payload["metrics"], attempts=1, wall_s=payload["wall_s"]
+            spec, payload["metrics"], attempts=1, wall_s=payload["wall_s"],
+            audit=payload.get("audit"),
         )
         if cache is not None:
-            cache.put(spec, payload["metrics"], payload["wall_s"])
+            cache.put(
+                spec, payload["metrics"], payload["wall_s"],
+                audit=payload.get("audit"),
+            )
         progress.job_done()
 
 
@@ -237,9 +245,13 @@ def _run_pooled(specs, pending, results, cache, telemetry, cfg, progress) -> Non
             payload["metrics"],
             attempts=state.attempts[index],
             wall_s=payload["wall_s"],
+            audit=payload.get("audit"),
         )
         if cache is not None:
-            cache.put(specs[index], payload["metrics"], payload["wall_s"])
+            cache.put(
+                specs[index], payload["metrics"], payload["wall_s"],
+                audit=payload.get("audit"),
+            )
         if tel_enabled and payload.get("telemetry") is not None:
             telemetry.absorb(payload["telemetry"])
         progress.job_done()

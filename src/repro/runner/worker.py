@@ -25,6 +25,7 @@ def execute_job(spec: JobSpec, telemetry=None) -> Dict[str, Any]:
     calls.
     """
     start = time.perf_counter()
+    audit: Optional[Dict[str, Any]] = None
     if spec.kind == "experiment":
         from repro.harness.experiment import run_experiment
         from repro.harness.metrics import standard_metrics
@@ -33,6 +34,8 @@ def execute_job(spec: JobSpec, telemetry=None) -> Dict[str, Any]:
             raise ValueError("experiment JobSpec needs a config")
         result = run_experiment(spec.config, telemetry=telemetry)
         metrics = standard_metrics(result)
+        if result.audit is not None:
+            audit = result.audit.to_dict()
     elif spec.kind == "incast":
         from repro.harness.incast import run_incast
 
@@ -40,7 +43,12 @@ def execute_job(spec: JobSpec, telemetry=None) -> Dict[str, Any]:
         metrics = {"goodput_bps": goodput}
     else:
         raise ValueError(f"unknown job kind {spec.kind!r}")
-    return {"metrics": metrics, "wall_s": time.perf_counter() - start}
+    payload: Dict[str, Any] = {
+        "metrics": metrics, "wall_s": time.perf_counter() - start,
+    }
+    if audit is not None:
+        payload["audit"] = audit
+    return payload
 
 
 def pool_worker(

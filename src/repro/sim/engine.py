@@ -77,6 +77,10 @@ class Simulator:
         #: an instrumented loop that times every callback; None keeps the
         #: original unmeasured fast path.
         self.profiler: Optional["SimProfiler"] = None
+        #: when set (see :class:`repro.audit.Auditor`), ``run`` takes a loop
+        #: that checks timestamp monotonicity and folds every event into the
+        #: auditor's determinism digest; None keeps the fast path.
+        self.auditor: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling primitives
@@ -118,7 +122,9 @@ class Simulator:
         queue = self._queue
         interrupted = False
         try:
-            if self.profiler is not None:
+            if self.auditor is not None:
+                processed, interrupted = self._run_audited(until, max_events)
+            elif self.profiler is not None:
                 processed, interrupted = self._run_profiled(until, max_events)
             else:
                 while queue and self._running:
@@ -179,6 +185,73 @@ class Simulator:
             interrupted = interrupted or not self._running
         finally:
             profiler.record_run(processed, perf() - run_start)
+        return processed, interrupted
+
+    def _run_audited(
+        self, until: Optional[float], max_events: Optional[int]
+    ) -> Tuple[int, bool]:
+        """The :meth:`run` loop with monotonicity checks and a streaming
+        determinism digest (see :mod:`repro.audit.digest`).
+
+        The digest mix is inlined for speed but must stay equivalent to
+        :meth:`repro.audit.digest.StreamDigest.mix` — pinned by tests.
+        Callback tokens are cached per *function object* (``__func__`` of a
+        bound method) so the qualname lookup happens once per distinct
+        callback, not once per event; the canonical qualname-keyed token
+        table stays authoritative, so two callables sharing a qualname
+        share a token.  Returns ``(processed, interrupted)``.
+        """
+        auditor = self.auditor
+        queue = self._queue
+        processed = 0
+        interrupted = False
+        # Localize the digest state; written back after the loop.
+        digest = auditor.digest_state
+        tokens = auditor.digest_tokens
+        fn_tokens = auditor.fn_tokens
+        last_time = auditor.last_event_time
+        try:
+            while queue and self._running:
+                time, _seq, event = queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(queue)
+                if event.cancelled:
+                    continue
+                if time < last_time:
+                    auditor.on_time_regression(
+                        time, last_time,
+                        getattr(event.fn, "__qualname__", "?"),
+                    )
+                last_time = time
+                fn = event.fn
+                f = getattr(fn, "__func__", fn)
+                tok = fn_tokens.get(f)
+                if tok is None:
+                    name = (
+                        getattr(f, "__qualname__", None)
+                        or getattr(type(f), "__qualname__", "?")
+                    )
+                    tok = tokens.get(name)
+                    if tok is None:
+                        tok = tokens[name] = len(tokens) + 1
+                    fn_tokens[f] = tok
+                digest = hash((digest, time, tok))
+                self.now = time
+                fn(*event.args)
+                processed += 1
+                self._events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    interrupted = True
+                    break
+            interrupted = interrupted or not self._running
+        finally:
+            auditor.digest_state = digest
+            # Every executed event was mixed exactly once (a callback that
+            # raised mid-event may leave the count one short of the state;
+            # such a run aborts before its report finalizes as a pass).
+            auditor.digest_count += processed
+            auditor.last_event_time = last_time
         return processed, interrupted
 
     def step(self) -> bool:

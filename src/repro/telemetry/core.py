@@ -120,12 +120,22 @@ class Telemetry:
         for name, switch in net.switches.items():
             reg.counter("switch.rx_packets", switch=name).set_total(switch.rx_packets)
             reg.counter("switch.blackholed", switch=name).set_total(switch.blackholed)
+            reg.counter("switch.ttl_expired", switch=name).set_total(switch.ttl_expired)
+            reg.counter("switch.icmp_originated", switch=name).set_total(
+                switch.icmp_originated
+            )
         for link in net.all_links():
             stats = link.queue.stats
             labels = {"link": link.name}
             reg.counter("link.tx_packets", **labels).set_total(link.tx_packets)
             reg.counter("link.tx_bytes", **labels).set_total(link.tx_bytes)
+            reg.counter("link.rx_delivered", **labels).set_total(link.rx_delivered)
+            reg.counter("link.lost_in_flight", **labels).set_total(link.lost_in_flight)
+            reg.counter("link.flushed_packets", **labels).set_total(link.flushed_packets)
             reg.counter("queue.dropped", **labels).set_total(stats.dropped)
+            reg.counter("queue.probe_dropped", **labels).set_total(stats.probe_dropped)
+            reg.counter("queue.enqueued", **labels).set_total(stats.enqueued)
+            reg.counter("queue.dequeued", **labels).set_total(stats.dequeued)
             reg.counter("queue.ecn_marked", **labels).set_total(stats.ecn_marked)
             reg.gauge("queue.peak_packets", **labels).set(stats.peak_packets)
             reg.gauge("queue.depth_packets", **labels).set(len(link.queue))
@@ -143,6 +153,8 @@ class Telemetry:
         for host in _values(hosts):
             vswitch = host.vswitch
             labels = {"host": host.name}
+            reg.counter("host.rx_packets", **labels).set_total(host.rx_packets)
+            reg.counter("host.tx_nic_packets", **labels).set_total(host.tx_nic_packets)
             reg.counter("vswitch.tx_encapsulated", **labels).set_total(vswitch.tx_encapsulated)
             reg.counter("vswitch.rx_encapsulated", **labels).set_total(vswitch.rx_encapsulated)
             reg.counter("vswitch.echoes_sent", **labels).set_total(vswitch.echoes_sent)

@@ -38,6 +38,29 @@ def test_parallel_sweep_matches_serial_bit_for_bit():
     assert series_equal(serial, parallel)
 
 
+def test_parallel_sweep_matches_serial_under_audit_digest():
+    """The serial-vs-parallel identity, re-proven by the audit digest: the
+    same grid run with ``audit="report"`` must yield identical event-stream
+    digests (and clean reports) from jobs=1 and jobs=4 executions."""
+    import dataclasses
+
+    base = dataclasses.replace(_base(), audit="report")
+    specs = [
+        JobSpec.experiment(
+            dataclasses.replace(base, scheme=scheme, load=load, seed=seed)
+        )
+        for scheme in SCHEMES
+        for load in LOADS[:2]
+        for seed in SEEDS[:2]
+    ]
+    serial = run_jobs(list(specs), runner=RunnerConfig(jobs=1))
+    parallel = run_jobs(list(specs), runner=RunnerConfig(jobs=4))
+    for s, p in zip(serial, parallel):
+        assert s.ok and p.ok
+        assert s.audit["ok"] and p.audit["ok"]
+        assert s.audit["digest"] == p.audit["digest"]
+
+
 def test_second_invocation_runs_nothing(tmp_path, monkeypatch):
     """With a warm cache every grid point is served without executing."""
     runner = RunnerConfig(jobs=4, cache_dir=str(tmp_path))

@@ -119,13 +119,14 @@ class TestCliTelemetry:
         assert dump["manifests"][0]["run"] == "incast"
 
     def test_telemetry_missing_file_errors(self, capsys):
-        assert main(["telemetry", "/nonexistent/run.jsonl"]) == 1
+        # unreadable input is a usage error: exit 2 (see test_cli_errors.py)
+        assert main(["telemetry", "/nonexistent/run.jsonl"]) == 2
         assert "cannot read" in capsys.readouterr().err
 
     def test_telemetry_corrupt_file_errors(self, tmp_path, capsys):
         bad = tmp_path / "bad.jsonl"
         bad.write_text("not json {\n")
-        assert main(["telemetry", str(bad)]) == 1
+        assert main(["telemetry", str(bad)]) == 2
         assert "cannot read" in capsys.readouterr().err
 
     def test_unwritable_telemetry_out_fails_before_running(self, capsys):
