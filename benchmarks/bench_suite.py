@@ -1,0 +1,118 @@
+"""Suite-harness overhead benchmark: records wall times to BENCH_suite.json.
+
+Runs the same scheme x load x seed grid twice — once directly through
+:func:`~repro.harness.sweep.sweep_loads` and once declared as a
+:class:`~repro.suite.spec.SuiteSpec` executed by
+:func:`~repro.suite.execute.run_suite` — and appends a shared-schema
+record (see :mod:`repro.harness.bench`) to ``benchmarks/BENCH_suite.json``::
+
+    {"bench": "suite", "recorded_unix": ..., "git_rev": "...",
+     "baseline_s": 2.1, "wall_s": 2.15, "overhead_pct": 2.4,
+     "gate_pct": 5.0, "within_target": true, ...}
+
+Both paths lower to the identical :func:`repro.runner.run_jobs` batch, so
+the measured difference is exactly the declarative layer's cost: matrix
+expansion, spec fingerprinting, per-seed payload collection and result
+assembly.  Target: < 5% overhead.  Not a pytest benchmark — invoke
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_suite.py [--repeats 5] [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.harness.bench import append_record, make_record
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.sweep import sweep_loads
+from repro.suite import ScenarioSpec, SuiteSpec, run_suite
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_suite.json"
+
+SCHEMES = ("ecmp", "clove-ecn")
+SEEDS = (1, 2)
+
+
+def _grid(full: bool):
+    loads = (0.3, 0.5, 0.7) if full else (0.3, 0.5)
+    base = dict(
+        jobs_per_client=30 if full else 10,
+        clients_per_leaf=None if full else 2,
+        connections_per_client=6 if full else 2,
+    )
+    return base, loads
+
+
+def _time_sweep(base: dict, loads, repeats: int) -> float:
+    config = ExperimentConfig(**base)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sweep_loads(config, SCHEMES, loads, seeds=SEEDS)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_suite(base: dict, loads, repeats: int) -> float:
+    spec = SuiteSpec(
+        name="bench",
+        seeds=SEEDS,
+        metrics=("avg_fct",),
+        scenarios=[ScenarioSpec(
+            name="grid",
+            base=dict(base),
+            matrix={"scheme": list(SCHEMES), "load": list(loads)},
+        )],
+    )
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_suite(spec)
+        best = min(best, time.perf_counter() - start)
+        assert result.failed_runs == 0
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="keep the fastest of N timings (default 5; "
+                             "the small grid needs them to shed noise)")
+    parser.add_argument("--full", action="store_true",
+                        help="larger grid (slower, steadier percentages)")
+    args = parser.parse_args()
+
+    base, loads = _grid(args.full)
+    points = len(SCHEMES) * len(loads) * len(SEEDS)
+    print(f"grid: {len(SCHEMES)} scheme(s) x {len(loads)} load(s) x "
+          f"{len(SEEDS)} seed(s) = {points} point(s), "
+          f"best of {args.repeats}")
+
+    # One untimed pass per path: the first grid of a process pays import
+    # and allocator warm-up that would otherwise land on whichever side
+    # runs first.
+    _time_sweep(base, loads, 1)
+    _time_suite(base, loads, 1)
+
+    baseline_s = _time_sweep(base, loads, args.repeats)
+    print(f"direct sweep_loads: {baseline_s:.3f}s")
+    wall_s = _time_suite(base, loads, args.repeats)
+    print(f"run_suite:          {wall_s:.3f}s")
+
+    record = make_record(
+        "suite", baseline_s, wall_s, gate_pct=5.0,
+        points=points, full=args.full, repeats=args.repeats,
+    )
+    append_record(RESULTS_PATH, record)
+    print(f"overhead: {record['overhead_pct']:+.2f}% "
+          f"(target < {record['gate_pct']:g}%) -> "
+          f"{'OK' if record['within_target'] else 'OVER TARGET'}")
+    print(f"recorded to {RESULTS_PATH}")
+    return 0 if record["within_target"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,13 @@ Subcommands:
   report, ``audit check`` replays a telemetry artifact through the
   offline checks, ``audit diff`` compares the determinism digests of
   two artifacts;
-* ``bench``     — render the ``benchmarks/BENCH_*.json`` trend table.
+* ``bench``     — render the ``benchmarks/BENCH_*.json`` trend table;
+* ``suite``     — declarative scenario matrices with statistical
+  regression gates (:mod:`repro.suite`): ``suite run`` executes a bundled
+  or file-loaded suite through the cached parallel runner, ``suite
+  record``/``suite check`` maintain golden baselines and gate on
+  statistically significant regressions, ``suite diff`` compares two
+  result artifacts offline, ``suite report`` renders markdown/JSON.
 
 ``run``, ``sweep`` and ``figure`` accept ``--chaos FILE`` (a serialized
 :class:`~repro.chaos.plan.FaultPlan`) or ``--chaos-preset NAME`` to inject
@@ -37,6 +43,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.audit import (
@@ -542,6 +549,148 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _suite_spec(args):
+    """Resolve the suite a subcommand names (bundled or --spec FILE).
+
+    Exits 2 — before any simulation time is spent — on a missing name, an
+    unreadable/invalid spec file or an unknown bundled suite.
+    """
+    from repro.suite import bundled_suite, load_suite
+
+    name = getattr(args, "name", None)
+    spec_file = getattr(args, "spec", None)
+    if (name is None) == (spec_file is None):
+        print("name a bundled suite (see `repro suite list`) or pass "
+              "--spec FILE, not both", file=sys.stderr)
+        raise SystemExit(2)
+    if spec_file is not None:
+        try:
+            return load_suite(spec_file)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load suite spec {spec_file!r}: {exc}",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    try:
+        return bundled_suite(name)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        raise SystemExit(2)
+
+
+def _suite_baseline_path(args, spec) -> str:
+    """The baseline file a suite record/check uses (default: suites/)."""
+    if getattr(args, "baselines", None):
+        return args.baselines
+    return f"suites/{spec.name}.baseline.json"
+
+
+def _load_suite_result(path: str):
+    from repro.suite import load_result
+
+    try:
+        return load_result(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read suite result {path!r}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def cmd_suite(args) -> int:
+    """Handle ``repro suite``: scenario matrices and regression gates."""
+    from repro.suite import (
+        baselines_from_result,
+        bundled_suite,
+        check_result,
+        diff_results,
+        iter_bundles,
+        load_baselines,
+        render_markdown,
+        report_dict,
+        run_suite,
+        save_baselines,
+    )
+    import json as _json
+
+    if args.suite_command == "list":
+        for name, spec in iter_bundles():
+            scenarios = spec.expand()
+            points = len(scenarios) * len(spec.seeds)
+            print(f"{name:<14} {len(scenarios):>3} scenario(s) x "
+                  f"{len(spec.seeds)} seed(s) = {points:>3} point(s)  "
+                  f"{spec.description}")
+        return 0
+    if args.suite_command == "show":
+        try:
+            spec = bundled_suite(args.name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(_json.dumps(spec.to_dict(), indent=2))
+        return 0
+    if args.suite_command == "report":
+        result = _load_suite_result(args.file)
+        if args.format == "json":
+            print(_json.dumps(report_dict(result), indent=2, sort_keys=True))
+        else:
+            print(render_markdown(result))
+        return 0
+    if args.suite_command == "diff":
+        result_a = _load_suite_result(args.file_a)
+        result_b = _load_suite_result(args.file_b)
+        metrics = args.metrics.split(",") if args.metrics else None
+        report = diff_results(
+            result_a, result_b, metrics=metrics,
+            tolerance_pct=args.tolerance, alpha=args.alpha,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
+
+    # run / record / check all execute the suite first.
+    spec = _suite_spec(args)
+    tel = _make_telemetry(args)
+    result = run_suite(spec, runner=_make_runner(args), telemetry=tel)
+    _finish_telemetry(tel, args)
+    if getattr(args, "out", None):
+        result.save(args.out)
+        print(f"suite result written to {args.out}", file=sys.stderr)
+
+    if args.suite_command == "run":
+        if args.report == "json":
+            text = _json.dumps(report_dict(result), indent=2, sort_keys=True)
+        else:
+            text = render_markdown(result)
+        print(text)
+        if getattr(args, "report_out", None):
+            Path(args.report_out).write_text(text + "\n", encoding="utf-8")
+            print(f"report written to {args.report_out}", file=sys.stderr)
+        return 1 if result.failed_runs else 0
+
+    if args.suite_command == "record":
+        try:
+            baselines = baselines_from_result(spec, result)
+        except ValueError as exc:
+            print(f"record failed: {exc}", file=sys.stderr)
+            return 1
+        path = _suite_baseline_path(args, spec)
+        save_baselines(baselines, path)
+        print(f"recorded baselines for {len(result.results)} scenario(s) "
+              f"to {path}")
+        return 0
+
+    # check: gate against the recorded baselines.
+    path = _suite_baseline_path(args, spec)
+    try:
+        baselines = load_baselines(path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load baselines {path!r}: {exc}", file=sys.stderr)
+        return 2
+    report = check_result(
+        spec, result, baselines,
+        tolerance_pct=args.tolerance, alpha=args.alpha,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_cache(args) -> int:
     """Handle ``repro cache``: list or clear a result-cache directory."""
     cache = ResultCache(args.cache_dir)
@@ -710,6 +859,85 @@ def build_parser() -> argparse.ArgumentParser:
     p_breport.add_argument("--dir", default="benchmarks", metavar="DIR",
                            help="directory holding the BENCH_*.json files")
     p_breport.set_defaults(fn=cmd_bench)
+
+    p_suite = sub.add_parser(
+        "suite", help="declarative scenario matrices with statistical "
+                      "regression gates (repro.suite)")
+    suite_sub = p_suite.add_subparsers(dest="suite_command", required=True)
+
+    def _suite_target(p, with_runner=True):
+        p.add_argument("name", nargs="?", default=None,
+                       help="bundled suite name (`repro suite list`)")
+        p.add_argument("--spec", metavar="FILE", default=None,
+                       help="load the suite from a JSON/TOML spec file "
+                            "instead of a bundled name")
+        if with_runner:
+            _add_runner_opts(p)
+            _add_telemetry_opts(p)
+
+    p_slist = suite_sub.add_parser("list", help="list bundled suites")
+    p_slist.set_defaults(fn=cmd_suite)
+    p_sshow = suite_sub.add_parser(
+        "show", help="print a bundled suite's spec as JSON (starting point "
+                     "for custom --spec files)")
+    p_sshow.add_argument("name", help="bundled suite name")
+    p_sshow.set_defaults(fn=cmd_suite)
+    p_srun = suite_sub.add_parser(
+        "run", help="run a suite and print its report")
+    _suite_target(p_srun)
+    p_srun.add_argument("--out", metavar="FILE", default=None,
+                        help="also save the result artifact as JSON "
+                             "(consumed by `suite diff`/`suite report`)")
+    p_srun.add_argument("--report", choices=("md", "json"), default="md",
+                        help="report format printed to stdout")
+    p_srun.add_argument("--report-out", metavar="FILE", default=None,
+                        help="also write the report to FILE (CI artifact)")
+    p_srun.set_defaults(fn=cmd_suite)
+    p_srec = suite_sub.add_parser(
+        "record", help="run a suite and snapshot per-scenario golden "
+                       "baselines")
+    _suite_target(p_srec)
+    p_srec.add_argument("--baselines", metavar="FILE", default=None,
+                        help="baseline file to write "
+                             "(default: suites/<name>.baseline.json)")
+    p_srec.add_argument("--out", metavar="FILE", default=None,
+                        help="also save the result artifact as JSON")
+    p_srec.set_defaults(fn=cmd_suite)
+    p_scheck = suite_sub.add_parser(
+        "check", help="re-run a suite and exit nonzero on statistically "
+                      "significant regressions vs recorded baselines")
+    _suite_target(p_scheck)
+    p_scheck.add_argument("--baselines", metavar="FILE", default=None,
+                          help="baseline file to check against "
+                               "(default: suites/<name>.baseline.json)")
+    p_scheck.add_argument("--out", metavar="FILE", default=None,
+                          help="also save the result artifact as JSON")
+    p_scheck.add_argument("--tolerance", type=float, default=None,
+                          metavar="PCT",
+                          help="override the suite's tolerance band "
+                               "(percent mean worsening)")
+    p_scheck.add_argument("--alpha", type=float, default=None,
+                          help="override the suite's significance level")
+    p_scheck.set_defaults(fn=cmd_suite)
+    p_sdiff = suite_sub.add_parser(
+        "diff", help="compare two saved suite-result artifacts offline "
+                     "(first = reference); exit 1 on regressions")
+    p_sdiff.add_argument("file_a", help="reference result artifact")
+    p_sdiff.add_argument("file_b", help="candidate result artifact")
+    p_sdiff.add_argument("--metrics", metavar="K1,K2", default=None,
+                         help="gate on these metric keys (default: the "
+                              "candidate artifact's recorded protocol)")
+    p_sdiff.add_argument("--tolerance", type=float, default=10.0,
+                         metavar="PCT",
+                         help="tolerance band (percent mean worsening)")
+    p_sdiff.add_argument("--alpha", type=float, default=0.05,
+                         help="significance level for the paired tests")
+    p_sdiff.set_defaults(fn=cmd_suite)
+    p_srep = suite_sub.add_parser(
+        "report", help="render a saved suite-result artifact")
+    p_srep.add_argument("file", help="result artifact from `suite run --out`")
+    p_srep.add_argument("--format", choices=("md", "json"), default="md")
+    p_srep.set_defaults(fn=cmd_suite)
 
     p_cache = sub.add_parser("cache", help="inspect or clear a result cache")
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)

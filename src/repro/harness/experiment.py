@@ -47,7 +47,7 @@ from repro.topology.leafspine import LeafSpineConfig, build_leaf_spine
 from repro.topology.network import Network
 from repro.transport.mptcp import open_mptcp_connection
 from repro.transport.tcp import open_connection
-from repro.workloads.distributions import web_search_distribution
+from repro.workloads.distributions import flow_size_distribution, validate_workload
 from repro.workloads.generator import PoissonWorkload, WorkloadConfig
 
 SCHEMES = (
@@ -86,8 +86,9 @@ class ExperimentConfig:
     #: flow sizes are the web-search CDF times this factor (0.1 keeps the
     #: elephant/mice mix meaningful against the fabric BDP at CI speed)
     flow_scale: float = 0.1
-    #: flow-size distribution: "web-search" (the paper's), "data-mining"
-    #: or "enterprise" (extensions; see repro.workloads.more_distributions)
+    #: flow-size distribution name (see
+    #: :data:`repro.workloads.distributions.WORKLOADS`): "web-search" (the
+    #: paper's), "data-mining" or "enterprise"
     workload: str = "web-search"
     #: Clove parameters; gap/expiry default to multiples of the fabric RTT
     flowlet_gap_rtt: float = 1.0
@@ -285,6 +286,8 @@ def run_experiment(
     """
     if config.scheme not in SCHEMES:
         raise ValueError(f"unknown scheme {config.scheme!r}")
+    # Fail fast on a mistyped workload name, before any fabric is built.
+    validate_workload(config.workload)
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     sim = Simulator()
     rng = RngRegistry(config.seed)
@@ -413,16 +416,7 @@ def run_experiment(
     baseline_bisection = (
         topo.n_spines * topo.cables_per_pair * topo.fabric_rate_bps * topo.scale
     )
-    if config.workload == "web-search":
-        size_dist = web_search_distribution(scale=config.flow_scale)
-    elif config.workload == "data-mining":
-        from repro.workloads.more_distributions import data_mining_distribution
-        size_dist = data_mining_distribution(scale=config.flow_scale)
-    elif config.workload == "enterprise":
-        from repro.workloads.more_distributions import enterprise_distribution
-        size_dist = enterprise_distribution(scale=config.flow_scale)
-    else:
-        raise ValueError(f"unknown workload {config.workload!r}")
+    size_dist = flow_size_distribution(config.workload, scale=config.flow_scale)
 
     collector = MetricsCollector()
     workload = PoissonWorkload(

@@ -1,0 +1,109 @@
+"""Declarative scenario suites with statistical regression gates.
+
+``repro.suite`` is the correctness-tooling layer the reproduction's
+experiments run through when they need to be *compared* rather than just
+executed:
+
+* :mod:`repro.suite.spec` — typed, JSON/TOML-loadable
+  :class:`SuiteSpec`/:class:`ScenarioSpec` whose axis matrices expand to
+  :class:`~repro.harness.experiment.ExperimentConfig` grids (with
+  ``exclude``/``pin`` rules and ``chaos``/``topology`` sugar axes);
+* :mod:`repro.suite.execute` — :func:`run_suite`, lowering a spec onto
+  the cached parallel runner and collecting per-seed metric payloads into
+  a serializable :class:`SuiteResult` artifact;
+* :mod:`repro.suite.stats` — paired-by-seed comparisons: bootstrap
+  confidence intervals, exact sign test, Mann-Whitney U, Cliff's delta;
+* :mod:`repro.suite.baseline` — golden baselines (``record``) and the
+  statistical regression gate (``check``/``diff``);
+* :mod:`repro.suite.bundles` — the bundled suites (``paper-smoke``,
+  ``paper-full``, ``chaos``, ``health``, ``workloads``);
+* :mod:`repro.suite.report` — markdown/JSON reports with paired
+  scheme-vs-baseline significance tables.
+
+Entry point: the ``repro suite list|show|run|record|check|diff|report``
+CLI, or programmatically::
+
+    from repro.suite import bundled_suite, run_suite
+    result = run_suite(bundled_suite("paper-smoke"),
+                       runner=RunnerConfig(jobs=4, cache_dir=".cache"))
+"""
+
+from repro.suite.baseline import (
+    BASELINE_SCHEMA,
+    CheckReport,
+    Finding,
+    baselines_from_result,
+    check_result,
+    diff_results,
+    load_baselines,
+    save_baselines,
+)
+from repro.suite.bundles import bundle_names, bundled_suite, iter_bundles
+from repro.suite.execute import (
+    RESULT_SCHEMA,
+    ScenarioResult,
+    SuiteResult,
+    load_result,
+    results_equal,
+    run_suite,
+    spec_digest,
+)
+from repro.suite.report import render_markdown, report_dict, scheme_comparisons
+from repro.suite.spec import (
+    TOPOLOGIES,
+    Scenario,
+    ScenarioSpec,
+    SuiteSpec,
+    build_config,
+    load_suite,
+)
+from repro.suite.stats import (
+    Comparison,
+    HIGHER_IS_BETTER,
+    bootstrap_mean_ci,
+    cliffs_delta,
+    compare_by_seed,
+    compare_paired,
+    mann_whitney_u,
+    sign_test,
+    worsening,
+)
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "Comparison",
+    "CheckReport",
+    "Finding",
+    "HIGHER_IS_BETTER",
+    "RESULT_SCHEMA",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "SuiteResult",
+    "SuiteSpec",
+    "TOPOLOGIES",
+    "baselines_from_result",
+    "bootstrap_mean_ci",
+    "build_config",
+    "bundle_names",
+    "bundled_suite",
+    "check_result",
+    "cliffs_delta",
+    "compare_by_seed",
+    "compare_paired",
+    "diff_results",
+    "iter_bundles",
+    "load_baselines",
+    "load_result",
+    "load_suite",
+    "mann_whitney_u",
+    "render_markdown",
+    "report_dict",
+    "results_equal",
+    "run_suite",
+    "save_baselines",
+    "scheme_comparisons",
+    "sign_test",
+    "spec_digest",
+    "worsening",
+]

@@ -1,11 +1,24 @@
 """Traffic generation: empirical flow sizes and arrival processes."""
 
-from repro.workloads.distributions import EmpiricalCdf, web_search_distribution
+from repro.workloads.distributions import (
+    WORKLOADS,
+    EmpiricalCdf,
+    data_mining_distribution,
+    enterprise_distribution,
+    flow_size_distribution,
+    validate_workload,
+    web_search_distribution,
+)
 from repro.workloads.generator import PoissonWorkload, WorkloadConfig
 from repro.workloads.incast import IncastWorkload, IncastConfig
 
 __all__ = [
+    "WORKLOADS",
     "EmpiricalCdf",
+    "data_mining_distribution",
+    "enterprise_distribution",
+    "flow_size_distribution",
+    "validate_workload",
     "web_search_distribution",
     "PoissonWorkload",
     "WorkloadConfig",

@@ -7,6 +7,19 @@ of large flows.  We use the standard piecewise CDF approximation of that
 distribution circulated with the DCTCP/CONGA simulation artifacts, with
 log-linear interpolation between knots and an optional size scale so
 CI-speed runs can shrink flows while preserving the shape.
+
+Two further workloads conventional in the datacenter load-balancing
+literature (used by DCTCP/CONGA/LetFlow follow-ons) let experiments probe
+how Clove behaves when the elephant/mice mix shifts:
+
+* **data-mining** — far heavier tail: >80% of flows under 10KB but a few
+  flows reach 1GB; most bytes in a handful of giant flows.  Hash collisions
+  between elephants persist for a very long time, favouring flowlet schemes.
+* **enterprise** — milder mix, most flows small, tail ends near 30MB.
+
+Every named workload is registered in :data:`WORKLOADS`;
+:func:`flow_size_distribution` resolves a name to a sampler and rejects
+unknown names with the full list of valid ones.
 """
 
 from __future__ import annotations
@@ -14,7 +27,7 @@ from __future__ import annotations
 import bisect
 import math
 import random
-from typing import List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 #: (flow size in bytes, cumulative probability) knots of the web-search CDF.
 _WEB_SEARCH_KNOTS: List[Tuple[float, float]] = [
@@ -96,6 +109,69 @@ class EmpiricalCdf:
         return total
 
 
+#: data-mining (VL2-style) flow sizes: extreme elephants.
+_DATA_MINING_KNOTS: List[Tuple[float, float]] = [
+    (100, 0.00),
+    (1_000, 0.50),
+    (10_000, 0.80),
+    (100_000, 0.85),
+    (1_000_000, 0.90),
+    (10_000_000, 0.95),
+    (100_000_000, 0.98),
+    (1_000_000_000, 1.00),
+]
+
+#: enterprise traffic: mostly mice, moderate tail.
+_ENTERPRISE_KNOTS: List[Tuple[float, float]] = [
+    (250, 0.00),
+    (1_000, 0.30),
+    (5_000, 0.60),
+    (25_000, 0.80),
+    (100_000, 0.92),
+    (1_000_000, 0.97),
+    (30_000_000, 1.00),
+]
+
+
 def web_search_distribution(scale: float = 1.0) -> EmpiricalCdf:
     """The DCTCP web-search flow-size distribution, optionally rescaled."""
     return EmpiricalCdf(_WEB_SEARCH_KNOTS, scale=scale)
+
+
+def data_mining_distribution(scale: float = 1.0) -> EmpiricalCdf:
+    """The heavy-tailed data-mining workload, optionally rescaled."""
+    return EmpiricalCdf(_DATA_MINING_KNOTS, scale=scale)
+
+
+def enterprise_distribution(scale: float = 1.0) -> EmpiricalCdf:
+    """The milder enterprise workload, optionally rescaled."""
+    return EmpiricalCdf(_ENTERPRISE_KNOTS, scale=scale)
+
+
+#: every named workload an :class:`~repro.harness.experiment.ExperimentConfig`
+#: (and a suite spec's ``workload`` axis) may reference
+WORKLOADS: Dict[str, Callable[..., EmpiricalCdf]] = {
+    "web-search": web_search_distribution,
+    "data-mining": data_mining_distribution,
+    "enterprise": enterprise_distribution,
+}
+
+
+def flow_size_distribution(name: str, scale: float = 1.0) -> EmpiricalCdf:
+    """Resolve a workload name to its (rescaled) flow-size sampler.
+
+    Raises :class:`ValueError` naming the valid workloads on an unknown
+    name, so a mistyped ``ExperimentConfig.workload`` fails fast instead of
+    surfacing as a late import error mid-run.
+    """
+    validate_workload(name)
+    return WORKLOADS[name](scale=scale)
+
+
+def validate_workload(name: str) -> None:
+    """Raise a descriptive :class:`ValueError` unless ``name`` is known."""
+    if name not in WORKLOADS:
+        valid = ", ".join(sorted(WORKLOADS))
+        raise ValueError(
+            f"unknown workload {name!r} (valid workloads: {valid})"
+        )

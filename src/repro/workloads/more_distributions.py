@@ -1,52 +1,16 @@
-"""Additional empirical flow-size distributions.
+"""Deprecated shim: the extra workloads merged into ``distributions``.
 
-The web-search CDF (:mod:`repro.workloads.distributions`) drives the
-paper's experiments; this module adds the other two workloads conventional
-in the datacenter load-balancing literature (used by DCTCP/CONGA/LetFlow
-follow-ons), so extension experiments can probe how Clove behaves when the
-elephant/mice mix shifts:
-
-* **data-mining** — far heavier tail: >80% of flows under 10KB but a few
-  flows reach 1GB; most bytes in a handful of giant flows.  Hash collisions
-  between elephants persist for a very long time, favouring flowlet schemes.
-* **enterprise** — milder mix, most flows small, tail ends near 30MB.
+The data-mining and enterprise flow-size CDFs now live in
+:mod:`repro.workloads.distributions` alongside the web-search workload
+(one registry, one module).  This re-export keeps old imports working;
+new code should import from ``repro.workloads.distributions``.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from repro.workloads.distributions import (  # noqa: F401
+    data_mining_distribution,
+    enterprise_distribution,
+)
 
-from repro.workloads.distributions import EmpiricalCdf
-
-#: data-mining (VL2-style) flow sizes: extreme elephants.
-_DATA_MINING_KNOTS: List[Tuple[float, float]] = [
-    (100, 0.00),
-    (1_000, 0.50),
-    (10_000, 0.80),
-    (100_000, 0.85),
-    (1_000_000, 0.90),
-    (10_000_000, 0.95),
-    (100_000_000, 0.98),
-    (1_000_000_000, 1.00),
-]
-
-#: enterprise traffic: mostly mice, moderate tail.
-_ENTERPRISE_KNOTS: List[Tuple[float, float]] = [
-    (250, 0.00),
-    (1_000, 0.30),
-    (5_000, 0.60),
-    (25_000, 0.80),
-    (100_000, 0.92),
-    (1_000_000, 0.97),
-    (30_000_000, 1.00),
-]
-
-
-def data_mining_distribution(scale: float = 1.0) -> EmpiricalCdf:
-    """The heavy-tailed data-mining workload, optionally rescaled."""
-    return EmpiricalCdf(_DATA_MINING_KNOTS, scale=scale)
-
-
-def enterprise_distribution(scale: float = 1.0) -> EmpiricalCdf:
-    """The milder enterprise workload, optionally rescaled."""
-    return EmpiricalCdf(_ENTERPRISE_KNOTS, scale=scale)
+__all__ = ["data_mining_distribution", "enterprise_distribution"]

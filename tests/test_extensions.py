@@ -15,7 +15,7 @@ from repro.metrics.timeseries import NetworkSampler, summarize
 from repro.net.packet import FlowKey, MSS, make_ack_packet
 from repro.sim.engine import Simulator
 from repro.transport.cubic import CubicSender
-from repro.workloads.more_distributions import (
+from repro.workloads.distributions import (
     data_mining_distribution,
     enterprise_distribution,
 )

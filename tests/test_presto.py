@@ -1,0 +1,120 @@
+"""Direct unit tests for the Presto baseline policy (flowcell spraying)."""
+
+import pytest
+
+from repro.baselines.presto import FLOWCELL_BYTES, PrestoPolicy
+from repro.net.packet import FlowKey, Packet
+
+DST = 0x0A000002
+FLOW = FlowKey(src_ip=0x0A000001, dst_ip=DST, src_port=10000, dst_port=80)
+
+
+def _packet(payload=1000, seq=0):
+    return Packet(FLOW, payload_bytes=payload, seq=seq)
+
+
+def test_invalid_flowcell_size_rejected():
+    with pytest.raises(ValueError, match="flowcell size"):
+        PrestoPolicy(flowcell_bytes=0)
+    with pytest.raises(ValueError, match="flowcell size"):
+        PrestoPolicy(flowcell_bytes=-1)
+
+
+def test_policy_contract_flags():
+    policy = PrestoPolicy()
+    assert policy.needs_reassembly
+    assert policy.needs_discovery()
+    assert policy.flowcell_bytes == FLOWCELL_BYTES
+
+
+def test_flowcell_rotation_after_flowcell_bytes():
+    policy = PrestoPolicy(flowcell_bytes=2000)
+    policy.set_paths(DST, [1, 2, 3, 4])
+    ports = []
+    cell_ids = []
+    for seq in range(8):
+        pkt = _packet(payload=1000, seq=seq)
+        ports.append(policy.select_source_port(FLOW, pkt, now=0.0))
+        cell_ids.append(pkt.flowcell_id)
+    # 1000B packets against a 2000B flowcell: rotate every two packets.
+    assert cell_ids == [0, 0, 1, 1, 2, 2, 3, 3]
+    assert policy.flowcells_started == 4
+    # Within a flowcell the port is sticky; uniform WRR visits every path.
+    assert ports[0] == ports[1] and ports[2] == ports[3]
+    assert set(ports) == {1, 2, 3, 4}
+
+
+def test_flowcell_seq_stamped_for_reassembly():
+    policy = PrestoPolicy(flowcell_bytes=1500)
+    policy.set_paths(DST, [1, 2])
+    pkt = _packet(payload=1000, seq=42)
+    policy.select_source_port(FLOW, pkt, now=0.0)
+    assert pkt.flowcell_id == 0
+    assert pkt.flowcell_seq == 42
+
+
+def test_static_weights_drive_the_spray_ratio():
+    policy = PrestoPolicy(flowcell_bytes=1, static_weights=[0.75, 0.25])
+    policy.set_paths(DST, [1, 2])
+    # flowcell_bytes=1: every packet starts a new flowcell.
+    counts = {1: 0, 2: 0}
+    for seq in range(200):
+        port = policy.select_source_port(FLOW, _packet(seq=seq), now=0.0)
+        counts[port] += 1
+    assert counts[1] == 150
+    assert counts[2] == 50
+
+
+def test_weight_fn_models_ideal_static_weights():
+    seen = {}
+
+    def weight_fn(traces):
+        seen["traces"] = tuple(traces)
+        return [1.0, 0.0]
+
+    policy = PrestoPolicy(flowcell_bytes=1, weight_fn=weight_fn)
+    traces = [("L1", "S1", "L2"), ("L1", "S2", "L2")]
+    policy.set_paths(DST, [1, 2], traces)
+    assert seen["traces"] == tuple(traces)
+    ports = {
+        policy.select_source_port(FLOW, _packet(seq=s), now=0.0)
+        for s in range(20)
+    }
+    assert ports == {1}
+
+
+def test_static_weights_take_precedence_over_weight_fn():
+    policy = PrestoPolicy(
+        flowcell_bytes=1,
+        static_weights=[0.0, 1.0],
+        weight_fn=lambda traces: [1.0, 0.0],
+    )
+    policy.set_paths(DST, [1, 2], [("a",), ("b",)])
+    ports = {
+        policy.select_source_port(FLOW, _packet(seq=s), now=0.0)
+        for s in range(20)
+    }
+    assert ports == {2}
+
+
+def test_fallback_hashing_before_discovery():
+    policy = PrestoPolicy()
+    port = policy.select_source_port(FLOW, _packet(), now=0.0)
+    assert 49152 <= port < 49152 + 16384
+    # Deterministic per 5-tuple: the same flow hashes to the same port.
+    assert policy.select_source_port(
+        FLOW, _packet(seq=1), now=0.0
+    ) == port
+    other = FlowKey(FLOW.src_ip, FLOW.dst_ip, 10001, 80)
+    ports = {
+        policy.select_source_port(other, Packet(other, 10, seq=s), now=0.0)
+        for s in range(1)
+    }
+    assert all(49152 <= p < 49152 + 16384 for p in ports)
+
+
+def test_ports_for_reflects_discovery():
+    policy = PrestoPolicy()
+    assert policy.ports_for(DST) == []
+    policy.set_paths(DST, [7, 8])
+    assert sorted(policy.ports_for(DST)) == [7, 8]

@@ -1,0 +1,122 @@
+"""harness.report: table/chart rendering and speedup edge cases."""
+
+import pytest
+
+from repro.harness.report import (
+    render_bar_chart,
+    render_cdf,
+    render_table,
+    speedup_table,
+)
+
+
+# ----------------------------------------------------------------------
+# render_table
+# ----------------------------------------------------------------------
+def test_table_empty_series():
+    assert render_table({}) == "(no data)"
+
+
+def test_table_aligns_schemes_and_scales_values():
+    series = {
+        "ecmp": [(0.3, 0.001), (0.5, 0.002)],
+        "clove-ecn": [(0.3, 0.0005), (0.5, 0.001)],
+    }
+    text = render_table(series)
+    lines = text.splitlines()
+    assert "ecmp" in lines[0] and "clove-ecn" in lines[0]
+    assert "0.30" in lines[1] and "1.000" in lines[1]
+    assert "(values in ms)" in lines[-1]
+
+
+# ----------------------------------------------------------------------
+# render_bar_chart
+# ----------------------------------------------------------------------
+def test_bar_chart_empty():
+    assert render_bar_chart({}) == "(no data)"
+
+
+def test_bar_chart_scales_to_peak():
+    text = render_bar_chart({"a": 1.0, "b": 2.0}, width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+
+
+def test_bar_chart_single_point_and_zero_values():
+    text = render_bar_chart({"only": 3.0}, width=8, unit="x")
+    assert "#" * 8 in text and "3x" in text
+    # All-zero input must not divide by zero; bars are simply empty.
+    text = render_bar_chart({"a": 0.0, "b": 0.0})
+    assert "(no data)" not in text
+    assert "#" not in text
+
+
+def test_bar_chart_tiny_values_still_visible():
+    text = render_bar_chart({"big": 100.0, "small": 0.001}, width=50)
+    small_line = [
+        line for line in text.splitlines() if line.startswith("small")
+    ][0]
+    assert "#" in small_line  # minimum one mark, never invisible
+
+
+# ----------------------------------------------------------------------
+# render_cdf
+# ----------------------------------------------------------------------
+def test_cdf_empty_and_degenerate():
+    assert render_cdf({}) == "(no data)"
+    assert render_cdf({"s": [(0.0, 1.0)]}) == "(degenerate data)"
+
+
+def test_cdf_single_point_series():
+    text = render_cdf({"s": [(0.001, 1.0)]})
+    assert "* = s" in text
+    assert "1.000 ms" in text
+
+
+def test_cdf_overlays_markers_per_scheme():
+    cdfs = {
+        "ecmp": [(0.001, 0.5), (0.002, 1.0)],
+        "clove": [(0.0005, 0.5), (0.001, 1.0)],
+    }
+    text = render_cdf(cdfs)
+    assert "* = ecmp" in text and "o = clove" in text
+    assert "*" in text and "o" in text
+    assert text.splitlines()[0].startswith("1.0 |")
+
+
+# ----------------------------------------------------------------------
+# speedup_table
+# ----------------------------------------------------------------------
+_SERIES = {
+    "ecmp": [(0.3, 0.002), (0.5, 0.004)],
+    "clove": [(0.3, 0.001), (0.5, 0.002)],
+    "presto": [(0.3, 0.004)],
+}
+
+
+def test_speedup_relative_to_baseline():
+    out = speedup_table(_SERIES, baseline="ecmp", x=0.3)
+    assert out == {"clove": pytest.approx(2.0), "presto": pytest.approx(0.5)}
+    assert "ecmp" not in out
+
+
+def test_speedup_missing_baseline_raises():
+    with pytest.raises(KeyError, match="baseline 'conga' not in series"):
+        speedup_table(_SERIES, baseline="conga", x=0.3)
+
+
+def test_speedup_missing_x_raises():
+    with pytest.raises(KeyError, match="x=0.9 not present"):
+        speedup_table(_SERIES, baseline="ecmp", x=0.9)
+
+
+def test_speedup_skips_schemes_without_the_point_or_zero():
+    series = {
+        "ecmp": [(0.5, 0.004)],
+        "short": [(0.3, 0.001)],     # no x=0.5 sample
+        "zero": [(0.5, 0.0)],        # guard against division blowup
+        "clove": [(0.5, 0.002)],
+    }
+    out = speedup_table(series, baseline="ecmp", x=0.5)
+    assert out == {"clove": pytest.approx(2.0)}
