@@ -1,0 +1,90 @@
+"""Control-plane hardening overhead benchmark -> BENCH_controlplane.json.
+
+Runs the same echo-heavy experiment point twice — once plain, once with a
+*benign* control-plane plan (``echo_loss`` armed at rate 1e-9 on every
+hypervisor: each carried echo pays the full fault-filter interception and
+RNG draw, but the probability of any echo actually dropping over a whole
+run is ~0) — and appends a shared-schema record (see
+:mod:`repro.harness.bench`) to ``benchmarks/BENCH_controlplane.json``::
+
+    {"bench": "controlplane", "recorded_unix": ..., "git_rev": "...",
+     "baseline_s": 2.1, "wall_s": 2.2, "overhead_pct": 1.3,
+     "gate_pct": 5.0, "within_target": true, ...}
+
+The plain run already carries the always-on hardening (epoch stamping on
+every transmitted packet, the bounds + epoch guard on every consumed
+echo), so the delta isolates what arming the chaos filter itself costs a
+fault-free fabric.  Target: < 5% overhead with faults effectively
+disabled.  Not a pytest benchmark — invoke directly::
+
+    PYTHONPATH=src python benchmarks/bench_controlplane.py [--repeats 3]
+        [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.chaos import FaultEvent, FaultPlan
+from repro.harness.bench import append_record, make_record
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.metrics import standard_metrics
+
+RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_controlplane.json"
+
+#: armed on every host, fires ~never: pure interception cost
+BENIGN_PLAN = FaultPlan((
+    FaultEvent(0.0, "echo_loss", host="*", rate=1e-9),
+))
+
+
+def _config(full: bool, chaos: FaultPlan | None) -> ExperimentConfig:
+    # Default client/connection counts: the light CI topology carries no
+    # CE marks, hence no echoes, and would time an idle filter.
+    jobs = 60 if full else 20
+    load = 0.7 if full else 0.5
+    return ExperimentConfig(scheme="clove-ecn", load=load,
+                            jobs_per_client=jobs, chaos=chaos)
+
+
+def _time_run(full: bool, chaos: FaultPlan | None, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        standard_metrics(run_experiment(_config(full, chaos)))
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(repeats: int, full: bool) -> dict:
+    """Time plain vs armed-but-benign runs; return the benchmark record."""
+    plain_s = _time_run(full, None, repeats)
+    control_s = _time_run(full, BENIGN_PLAN, repeats)
+    return make_record("controlplane", plain_s, control_s, 5.0,
+                       repeats=repeats, full=full)
+
+
+def main() -> int:
+    """CLI entry: run the benchmark, append to BENCH_controlplane.json."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per variant (best-of wins)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-ish per-point cost instead of CI-sized")
+    args = parser.parse_args()
+
+    record = run(args.repeats, args.full)
+    append_record(RESULTS_PATH, record)
+    print(json.dumps(record, indent=2))
+    if not record["within_target"]:
+        print(f"WARNING: control-plane filter overhead "
+              f"{record['overhead_pct']}% exceeds the 5% target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -175,8 +175,54 @@ def check_conservation(
                 time=now, markers=marker_flushed, links=snap.flushed,
             )
 
+    _check_echoes(report, hosts, now)
     _check_flows(report, hosts, now, workload=workload, collector=collector)
     return snap
+
+
+def _check_echoes(report: AuditReport, hosts: Iterable, now: float) -> None:
+    """Control-packet conservation: every echo a vswitch carried must be
+    consumed exactly once or lost to a counted fault.
+
+    Per host: ``carried - dropped - delayed + duplicated + delivered_late
+    == received + corrupt_dropped + stale_rejected``.  Echo faults only
+    add counted terms — a delayed echo still pending at run end was
+    counted ``delayed`` but never consumed, so the identity holds at any
+    instant, faulted or not.
+    """
+    report.note_checked("conservation.echo", 1)
+    for host in hosts:
+        vswitch = getattr(host, "vswitch", None)
+        if vswitch is None:
+            continue
+        faults = getattr(host, "control_faults", None)
+        dropped = faults.echoes_dropped if faults is not None else 0
+        delayed = faults.echoes_delayed if faults is not None else 0
+        duplicated = faults.echoes_duplicated if faults is not None else 0
+        late = faults.echoes_delivered_late if faults is not None else 0
+        consumed = (
+            vswitch.echoes_carried - dropped - delayed + duplicated + late
+        )
+        accounted = (
+            vswitch.echoes_received + vswitch.echoes_corrupt_dropped
+            + vswitch.echoes_stale_rejected
+        )
+        if consumed != accounted:
+            report.record(
+                "conservation.echo",
+                f"echo ledger on {host.name}: carried "
+                f"{vswitch.echoes_carried} - dropped {dropped} - delayed "
+                f"{delayed} + duplicated {duplicated} + late {late} = "
+                f"{consumed} != received {vswitch.echoes_received} + "
+                f"corrupt {vswitch.echoes_corrupt_dropped} + stale "
+                f"{vswitch.echoes_stale_rejected} = {accounted}",
+                time=now, severity=SEV_CRITICAL, host=host.name,
+                carried=vswitch.echoes_carried, dropped=dropped,
+                delayed=delayed, duplicated=duplicated, delivered_late=late,
+                received=vswitch.echoes_received,
+                corrupt_dropped=vswitch.echoes_corrupt_dropped,
+                stale_rejected=vswitch.echoes_stale_rejected,
+            )
 
 
 def _check_flows(

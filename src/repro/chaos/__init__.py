@@ -18,12 +18,20 @@ Entry points: ``ExperimentConfig(chaos=FaultPlan(...))``, the CLI's
 ``repro chaos`` subcommand.
 """
 
-from repro.chaos.engine import ChaosEngine, windows_from_markers
+from repro.chaos.engine import (
+    ChaosEngine,
+    ControlPlaneState,
+    windows_from_markers,
+)
 from repro.chaos.metrics import (
+    ControlPlaneReport,
     FlowSample,
     HealthReport,
     RecoveryReport,
     compute_recovery,
+    controlplane_from_records,
+    controlplane_from_result,
+    format_controlplane_report,
     format_health_report,
     format_report,
     health_from_records,
@@ -33,9 +41,12 @@ from repro.chaos.metrics import (
 )
 from repro.chaos.plan import (
     ACTIONS,
+    CONTROL_ACTIONS,
+    LINK_ACTIONS,
     PRESETS,
     FaultEvent,
     FaultPlan,
+    echo_storm,
     fault_windows,
     flap,
     degraded,
@@ -43,22 +54,32 @@ from repro.chaos.plan import (
     multi_failure_plan,
     preset,
     random_plan,
+    restart_plan,
     single_cable,
+    split_brain,
 )
 
 __all__ = [
     "ACTIONS",
+    "CONTROL_ACTIONS",
+    "LINK_ACTIONS",
     "PRESETS",
     "ChaosEngine",
+    "ControlPlaneReport",
+    "ControlPlaneState",
     "FaultEvent",
     "FaultPlan",
     "FlowSample",
     "HealthReport",
     "RecoveryReport",
     "compute_recovery",
+    "controlplane_from_records",
+    "controlplane_from_result",
     "degraded",
+    "echo_storm",
     "fault_windows",
     "flap",
+    "format_controlplane_report",
     "format_health_report",
     "format_report",
     "health_from_records",
@@ -69,6 +90,8 @@ __all__ = [
     "random_plan",
     "recovery_from_records",
     "recovery_from_result",
+    "restart_plan",
     "single_cable",
+    "split_brain",
     "windows_from_markers",
 ]

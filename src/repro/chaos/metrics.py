@@ -503,6 +503,251 @@ def format_health_report(report: HealthReport) -> str:
     ])
 
 
+# ----------------------------------------------------------------------
+# Control-plane metrics: what echo faults and restarts did to Clove
+# ----------------------------------------------------------------------
+@dataclass
+class ControlPlaneReport:
+    """What control-plane chaos did to the feedback loop in one run.
+
+    Fault-side counts (dropped/delayed/duplicated/corrupted/probes) come
+    from the injectors; defense-side counts (corrupt-dropped,
+    stale-rejected, stale-applied) from the epoch guard and bounds check.
+    ``stale_applied`` must be 0 whenever the guard is on — it exists to
+    measure the damage with the guard *off*.  NaN marks a quantity with
+    no samples (no echoes carried, no restart ever re-converged).
+    """
+
+    #: echoes that reached a vswitch with the policy listening
+    echoes_carried: int
+    #: echoes accepted and applied to the weight table
+    echoes_received: int
+    echoes_dropped: int
+    echoes_delayed: int
+    echoes_delivered_late: int
+    echoes_duplicated: int
+    #: injected corruptions vs what the bounds check actually caught
+    echoes_corrupted: int
+    echoes_corrupt_dropped: int
+    #: epoch-guard rejections at the vswitch
+    echoes_stale_rejected: int
+    #: stale echoes counted anywhere (policy unknown-port + epoch guard)
+    stale_echoes: int
+    #: epoch-mismatched echoes applied anyway (only with the guard off)
+    stale_applied: int
+    epoch_bumps: int
+    probes_dropped: int
+    #: vswitch restarts injected / of those, re-converged before run end
+    restarts: int
+    reconverged: int
+    #: mean seconds from restart to weights back within 10% TV of oracle
+    reconverge_s: float
+    #: mean total-variation distance to the oracle at re-convergence
+    divergence: float
+
+    @property
+    def echo_delivery_ratio(self) -> float:
+        """Accepted / carried; NaN when no echoes were carried."""
+        if self.echoes_carried <= 0:
+            return _NAN
+        return self.echoes_received / self.echoes_carried
+
+    def to_dict(self) -> Dict[str, object]:
+        """The report as one JSON-able dict."""
+        return {
+            "echoes_carried": self.echoes_carried,
+            "echoes_received": self.echoes_received,
+            "echo_delivery_ratio": self.echo_delivery_ratio,
+            "echoes_dropped": self.echoes_dropped,
+            "echoes_delayed": self.echoes_delayed,
+            "echoes_delivered_late": self.echoes_delivered_late,
+            "echoes_duplicated": self.echoes_duplicated,
+            "echoes_corrupted": self.echoes_corrupted,
+            "echoes_corrupt_dropped": self.echoes_corrupt_dropped,
+            "echoes_stale_rejected": self.echoes_stale_rejected,
+            "stale_echoes": self.stale_echoes,
+            "stale_applied": self.stale_applied,
+            "epoch_bumps": self.epoch_bumps,
+            "probes_dropped": self.probes_dropped,
+            "restarts": self.restarts,
+            "reconverged": self.reconverged,
+            "reconverge_s": self.reconverge_s,
+            "divergence": self.divergence,
+        }
+
+
+def _controlplane_report(
+    carried: int, received: int, dropped: int, delayed: int,
+    delivered_late: int, duplicated: int, corrupted: int,
+    corrupt_dropped: int, stale_rejected: int, stale_echoes: int,
+    stale_applied: int, epoch_bumps: int, probes_dropped: int,
+    restarts: int, reconverge_times: Sequence[float],
+    divergences: Sequence[float],
+) -> ControlPlaneReport:
+    mean_ttc = (
+        sum(reconverge_times) / len(reconverge_times)
+        if reconverge_times else _NAN
+    )
+    mean_div = (
+        sum(divergences) / len(divergences) if divergences else _NAN
+    )
+    return ControlPlaneReport(
+        echoes_carried=carried,
+        echoes_received=received,
+        echoes_dropped=dropped,
+        echoes_delayed=delayed,
+        echoes_delivered_late=delivered_late,
+        echoes_duplicated=duplicated,
+        echoes_corrupted=corrupted,
+        echoes_corrupt_dropped=corrupt_dropped,
+        echoes_stale_rejected=stale_rejected,
+        stale_echoes=stale_echoes,
+        stale_applied=stale_applied,
+        epoch_bumps=epoch_bumps,
+        probes_dropped=probes_dropped,
+        restarts=restarts,
+        reconverged=len(reconverge_times),
+        reconverge_s=mean_ttc,
+        divergence=mean_div,
+    )
+
+
+def controlplane_from_result(result) -> Optional[ControlPlaneReport]:
+    """Control-plane metrics of a run, or None when nothing to report.
+
+    Returns a report when the run carried a chaos engine with control
+    events, or when any defense counter fired (stale echoes can occur
+    without chaos — e.g. discovery respreads racing in-flight echoes).
+    """
+    engine = getattr(result, "chaos", None)
+    states = list(engine.control_states.values()) if engine is not None else []
+    carried = received = corrupt_dropped = stale_rejected = 0
+    stale = applied = bumps = 0
+    for host in getattr(result, "hosts", {}).values():
+        vswitch = host.vswitch
+        carried += vswitch.echoes_carried
+        received += vswitch.echoes_received
+        corrupt_dropped += vswitch.echoes_corrupt_dropped
+        stale_rejected += vswitch.echoes_stale_rejected
+        weights = getattr(vswitch.policy, "weights", None)
+        if weights is not None:
+            stale += weights.stale_echoes
+            applied += weights.stale_applied
+            bumps += weights.epoch_bumps
+    restarts = reconverge_times = None
+    if engine is not None:
+        restart_markers = [
+            m for m in engine.markers if m.get("action") == "vswitch_restart"
+        ]
+        restarts = len(restart_markers)
+        reconverge_times = [
+            float(m["reconverged_at"]) - float(m["time"])
+            for m in restart_markers if "reconverged_at" in m
+        ]
+        divergences = [
+            float(m["divergence"])
+            for m in restart_markers if "divergence" in m
+        ]
+    if not states and not (restarts or stale or applied or corrupt_dropped
+                           or stale_rejected):
+        return None
+    return _controlplane_report(
+        carried, received,
+        sum(s.echoes_dropped for s in states),
+        sum(s.echoes_delayed for s in states),
+        sum(s.echoes_delivered_late for s in states),
+        sum(s.echoes_duplicated for s in states),
+        sum(s.echoes_corrupted for s in states),
+        corrupt_dropped, stale_rejected, stale, applied, bumps,
+        sum(s.probes_dropped for s in states),
+        restarts or 0, reconverge_times or [], divergences if engine else [],
+    )
+
+
+def controlplane_from_records(
+    records: Sequence[Dict],
+    counters: Optional[Dict[str, float]] = None,
+) -> Optional[ControlPlaneReport]:
+    """Recompute control-plane metrics from raw telemetry records.
+
+    Counter totals come from the artifact's scraped counter snapshot
+    (``counters`` of :func:`repro.telemetry.load_jsonl`); restart and
+    re-convergence facts from the ``chaos.inject`` / ``chaos.reconverge``
+    event stream.  Bit-identical to :func:`controlplane_from_result` for
+    the same run.  Returns None when the artifact shows no control-plane
+    activity at all.
+    """
+    def _total(prefix: str) -> int:
+        if not counters:
+            return 0
+        return int(sum(
+            value for name, value in counters.items()
+            if name == prefix or name.startswith(prefix + "{")
+        ))
+
+    restart_events = [
+        r for r in records
+        if r.get("type") == "chaos.inject"
+        and r.get("action") == "vswitch_restart"
+    ]
+    reconverge_events = [
+        r for r in records if r.get("type") == "chaos.reconverge"
+    ]
+    dropped = _total("chaos.echoes_dropped")
+    delayed = _total("chaos.echoes_delayed")
+    late = _total("chaos.echoes_delivered_late")
+    duplicated = _total("chaos.echoes_duplicated")
+    corrupted = _total("chaos.echoes_corrupted")
+    probes_dropped = _total("chaos.probes_dropped")
+    corrupt_dropped = _total("vswitch.echoes_corrupt_dropped")
+    stale_rejected = _total("vswitch.echoes_stale_rejected")
+    stale = _total("weights.stale_echoes")
+    applied = _total("weights.stale_applied")
+    faults = (dropped + delayed + duplicated + corrupted + probes_dropped
+              + len(restart_events))
+    if not faults and not (stale or applied or corrupt_dropped
+                           or stale_rejected):
+        return None
+    return _controlplane_report(
+        _total("vswitch.echoes_carried"),
+        _total("vswitch.echoes_received"),
+        dropped, delayed, late, duplicated, corrupted,
+        corrupt_dropped, stale_rejected, stale, applied,
+        _total("weights.epoch_bumps"), probes_dropped,
+        len(restart_events),
+        [float(r.get("reconverge_s", 0.0)) for r in reconverge_events],
+        [float(r.get("divergence", 0.0)) for r in reconverge_events],
+    )
+
+
+def format_controlplane_report(report: ControlPlaneReport) -> str:
+    """The control-plane block ``repro run`` / ``repro chaos report``
+    print."""
+    def fmt_ms(value: float) -> str:
+        return "n/a" if math.isnan(value) else f"{value * 1000:.3f} ms"
+
+    ratio = (
+        "n/a" if math.isnan(report.echo_delivery_ratio)
+        else f"{report.echo_delivery_ratio * 100:.1f}%"
+    )
+    lines = [
+        f"echo delivery     : {ratio} "
+        f"({report.echoes_received}/{report.echoes_carried} accepted; "
+        f"{report.echoes_dropped} dropped, {report.echoes_delayed} delayed, "
+        f"{report.echoes_duplicated} duplicated, "
+        f"{report.echoes_corrupted} corrupted)",
+        f"epoch guard       : {report.echoes_stale_rejected} stale rejected, "
+        f"{report.echoes_corrupt_dropped} corrupt dropped, "
+        f"{report.stale_applied} stale applied "
+        f"({report.epoch_bumps} epoch bumps)",
+        f"probes dropped    : {report.probes_dropped}",
+        f"vswitch restarts  : {report.restarts} "
+        f"({report.reconverged} re-converged, "
+        f"mean {fmt_ms(report.reconverge_s)})",
+    ]
+    return "\n".join(lines)
+
+
 def format_report(report: RecoveryReport) -> str:
     """The report as the text block ``repro run`` / ``repro chaos report``
     print."""

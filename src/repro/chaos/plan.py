@@ -21,6 +21,13 @@ frozen dataclasses, so they
 ready-made plans the CLI exposes as ``--chaos-preset <name>``; and
 :func:`random_plan` samples seeded failure storms that always leave every
 touched node at least one live cable.
+
+Beyond link faults, plans carry **control-plane** faults
+(:data:`CONTROL_ACTIONS`): probabilistic loss/delay/duplication/
+corruption of the ECN/INT echoes and discovery/liveness probes a
+hypervisor depends on, plus ``vswitch_restart`` — a crash-restart that
+wipes configurable edge state and forces a re-bootstrap.  Those target
+hypervisors by name or glob (``host="h1_*"``), not cables.
 """
 
 from __future__ import annotations
@@ -31,8 +38,26 @@ import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
+#: fault actions that target a cable in the physical topology
+LINK_ACTIONS = ("link_down", "link_up", "degrade", "restore", "flap")
+
+#: fault actions that target a hypervisor's control plane: probabilistic
+#: echo/probe interference and crash-restarts of the vswitch state
+CONTROL_ACTIONS = (
+    "echo_loss", "echo_delay", "echo_duplicate", "echo_corrupt",
+    "probe_loss", "vswitch_restart",
+)
+
 #: every fault action a plan may contain
-ACTIONS = ("link_down", "link_up", "degrade", "restore", "flap")
+ACTIONS = LINK_ACTIONS + CONTROL_ACTIONS
+
+#: state a ``vswitch_restart`` may wipe ("all" = every one of these)
+WIPE_TARGETS = ("weights", "flowlets", "discovery", "health")
+
+#: minimum spacing between restarts of the same hypervisor: discovery
+#: pacing + a round deadline, so a host has re-bootstrapped before it can
+#: be crashed again (random_plan enforces this; tests pin it)
+REBOOTSTRAP_WINDOW = 0.02
 
 #: a cable identity: (endpoint, endpoint, parallel index)
 Cable = Tuple[str, str, int]
@@ -48,20 +73,34 @@ def cable_key(a: str, b: str, index: int) -> Cable:
 class FaultEvent:
     """One typed injection at an absolute simulated time.
 
-    ``factor`` applies to ``degrade`` only; ``period``/``downtime``/``count``
-    to ``flap`` only (a flap is sugar for ``count`` down/up cycles and
+    Link events target a cable via ``a``/``b``/``index``; ``factor``
+    applies to ``degrade`` only; ``period``/``downtime``/``count`` to
+    ``flap`` only (a flap is sugar for ``count`` down/up cycles and
     expands to primitive events via :meth:`expand`).
+
+    Control-plane events target hypervisors via ``host`` (a name, ``*``,
+    or an fnmatch glob like ``h1_*``).  ``rate`` is the per-echo/probe
+    fault probability, ``delay`` the added echo latency for
+    ``echo_delay``, ``duration`` how long the fault stays armed (0 = rest
+    of the run), and ``wipe`` the comma-separated state a
+    ``vswitch_restart`` clears (subset of :data:`WIPE_TARGETS`, or
+    ``all``).
     """
 
     time: float
     action: str
-    a: str
-    b: str
+    a: str = ""
+    b: str = ""
     index: int = 0
     factor: float = 0.25
     period: float = 0.0
     downtime: float = 0.0
     count: int = 0
+    host: str = ""
+    rate: float = 1.0
+    delay: float = 0.0
+    duration: float = 0.0
+    wipe: str = "all"
 
     def validate(self) -> None:
         """Raise ``ValueError`` on an ill-formed event."""
@@ -71,6 +110,9 @@ class FaultEvent:
             )
         if not (isinstance(self.time, (int, float)) and self.time >= 0.0):
             raise ValueError(f"fault time must be >= 0, got {self.time!r}")
+        if self.is_control:
+            self._validate_control()
+            return
         if self.index < 0:
             raise ValueError(f"cable index must be >= 0, got {self.index}")
         if not self.a or not self.b or self.a == self.b:
@@ -87,9 +129,58 @@ class FaultEvent:
                     f"downtime={self.downtime} period={self.period}"
                 )
 
+    def _validate_control(self) -> None:
+        if not self.host:
+            raise ValueError(
+                f"{self.action} needs a host name or glob, got {self.host!r}"
+            )
+        if self.a or self.b:
+            raise ValueError(
+                f"{self.action} targets a host, not a cable "
+                f"(got a={self.a!r} b={self.b!r})"
+            )
+        if self.duration < 0.0:
+            raise ValueError(f"duration must be >= 0, got {self.duration}")
+        if self.action == "vswitch_restart":
+            tokens = self.wipe_set
+            bad = tokens - set(WIPE_TARGETS)
+            if bad:
+                raise ValueError(
+                    f"unknown wipe target(s) {sorted(bad)} "
+                    f"(expected a subset of {WIPE_TARGETS} or 'all')"
+                )
+            return
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(
+                f"{self.action} rate must be in (0, 1], got {self.rate}"
+            )
+        if self.action == "echo_delay" and self.delay <= 0.0:
+            raise ValueError(
+                f"echo_delay needs a positive delay, got {self.delay}"
+            )
+
+    @property
+    def is_control(self) -> bool:
+        """True when this event targets a hypervisor's control plane."""
+        return self.action in CONTROL_ACTIONS
+
+    @property
+    def wipe_set(self) -> frozenset:
+        """The wipe tokens of a ``vswitch_restart`` (``all`` expanded)."""
+        if self.wipe.strip() == "all":
+            return frozenset(WIPE_TARGETS)
+        return frozenset(
+            token.strip() for token in self.wipe.split(",") if token.strip()
+        )
+
     @property
     def cable(self) -> Cable:
         """The (direction-insensitive) cable this event targets."""
+        if self.is_control:
+            raise ValueError(
+                f"control-plane event {self.action!r} targets host "
+                f"{self.host!r}, not a cable"
+            )
         return cable_key(self.a, self.b, self.index)
 
     def expand(self) -> List["FaultEvent"]:
@@ -107,7 +198,20 @@ class FaultEvent:
 
     def to_dict(self) -> Dict[str, object]:
         """Compact JSON-able form (irrelevant per-action fields omitted)."""
-        out: Dict[str, object] = {
+        if self.is_control:
+            out: Dict[str, object] = {
+                "time": self.time, "action": self.action, "host": self.host,
+            }
+            if self.action == "vswitch_restart":
+                out["wipe"] = self.wipe
+                return out
+            out["rate"] = self.rate
+            if self.action == "echo_delay":
+                out["delay"] = self.delay
+            if self.duration > 0.0:
+                out["duration"] = self.duration
+            return out
+        out = {
             "time": self.time, "action": self.action,
             "a": self.a, "b": self.b, "index": self.index,
         }
@@ -165,7 +269,13 @@ class FaultPlan:
 
     def cables(self) -> List[Cable]:
         """The distinct cables the plan touches, sorted."""
-        return sorted({event.cable for event in self.events})
+        return sorted(
+            {event.cable for event in self.events if not event.is_control}
+        )
+
+    def control_events(self) -> List[FaultEvent]:
+        """The control-plane events of the plan, time-ordered."""
+        return [event for event in self.events if event.is_control]
 
     def end_time(self) -> float:
         """Time of the last primitive injection (0.0 for an empty plan)."""
@@ -183,9 +293,12 @@ class FaultPlan:
         """One-line human summary for labels and cache listings."""
         if not self.events:
             return "empty"
-        cables = ",".join(f"{a}-{b}#{i}" for a, b, i in self.cables())
+        targets = [f"{a}-{b}#{i}" for a, b, i in self.cables()]
+        targets.extend(sorted(
+            {f"{e.action}@{e.host}" for e in self.control_events()}
+        ))
         expanded = self.expanded()
-        return (f"{len(expanded)} injections on {cables} "
+        return (f"{len(expanded)} injections on {','.join(targets)} "
                 f"t=[{expanded[0].time:g}, {expanded[-1].time:g}]")
 
     # ------------------------------------------------------------------
@@ -230,6 +343,8 @@ def fault_windows(
     opened: Dict[Cable, float] = {}
     raw: List[List[float]] = []
     for event in sorted(events, key=lambda e: e.time):
+        if event.is_control:
+            continue
         cable = event.cable
         if event.action == "link_down" or (
             event.action == "degrade" and event.factor < 1.0
@@ -296,6 +411,43 @@ def multi_failure_plan(
     return FaultPlan(tuple(events))
 
 
+def echo_storm(start: float = 0.025, host: str = "*",
+               loss: float = 0.3, delay_rate: float = 0.1,
+               delay: float = 0.004, duplicate: float = 0.1,
+               corrupt: float = 0.05) -> FaultPlan:
+    """Every control-plane echo fault at once, on every hypervisor: lossy,
+    laggy, duplicated, and occasionally garbled ECN/INT echoes."""
+    events = []
+    if loss > 0.0:
+        events.append(FaultEvent(start, "echo_loss", host=host, rate=loss))
+    if delay_rate > 0.0:
+        events.append(FaultEvent(start, "echo_delay", host=host,
+                                 rate=delay_rate, delay=delay))
+    if duplicate > 0.0:
+        events.append(FaultEvent(start, "echo_duplicate", host=host,
+                                 rate=duplicate))
+    if corrupt > 0.0:
+        events.append(FaultEvent(start, "echo_corrupt", host=host,
+                                 rate=corrupt))
+    return FaultPlan(tuple(events))
+
+
+def restart_plan(host: str = "h1_0", time: float = 0.03,
+                 wipe: str = "all") -> FaultPlan:
+    """One hypervisor crash-restart mid-run: the vswitch loses its weight
+    table, flowlet table, discovery cache, and health history, then
+    re-bootstraps through :class:`~repro.core.discovery.PathDiscovery`."""
+    return FaultPlan((FaultEvent(time, "vswitch_restart", host=host,
+                                 wipe=wipe),))
+
+
+def split_brain(hosts: str = "h1_*", start: float = 0.025,
+                loss: float = 0.4) -> FaultPlan:
+    """Asymmetric echo loss: one side of the fabric loses a large fraction
+    of its congestion feedback while the other side sees everything."""
+    return FaultPlan((FaultEvent(start, "echo_loss", host=hosts, rate=loss),))
+
+
 def random_plan(
     seed: int,
     cables: Sequence[Cable] = (
@@ -308,6 +460,8 @@ def random_plan(
     mean_downtime: float = 0.004,
     degrade_fraction: float = 0.3,
     min_live_per_node: int = 1,
+    control_plane: float = 0.0,
+    hosts: Sequence[str] = ("h1_0", "h1_1", "h2_0", "h2_1"),
 ) -> FaultPlan:
     """A seeded failure storm: ``n_faults`` sampled down/degrade intervals.
 
@@ -316,11 +470,22 @@ def random_plan(
     cables, so a storm cannot partition a leaf from the fabric (the CAFT
     multi-failure regime, minus the uninteresting total-blackout case).
     Identical arguments always produce an identical plan.
+
+    ``control_plane`` is the fraction of faults that target hypervisor
+    control planes (echo loss/delay/duplicate/corrupt, probe loss, or a
+    vswitch restart on one of ``hosts``) instead of a cable.  Restarts
+    never hit the same hypervisor twice within
+    :data:`REBOOTSTRAP_WINDOW` seconds, so a crashed vswitch always
+    finishes re-bootstrapping before it can crash again.
     """
     if n_faults < 1:
         raise ValueError("need at least one fault")
     if horizon <= 0:
         raise ValueError("horizon must be positive")
+    if not 0.0 <= control_plane <= 1.0:
+        raise ValueError(f"control_plane must be in [0, 1], got {control_plane}")
+    if control_plane > 0.0 and not hosts:
+        raise ValueError("control_plane > 0 needs a non-empty host list")
     rng = random.Random(seed)
     per_node: Dict[str, int] = {}
     for a, b, _i in cables:
@@ -329,9 +494,17 @@ def random_plan(
     events: List[FaultEvent] = []
     # (end_time, cable) of intervals currently open, in start order
     active: List[Tuple[float, Cable]] = []
+    last_restart: Dict[str, float] = {}
     time = start
     for _ in range(n_faults):
         time += rng.expovariate(n_faults / horizon)
+        # Extra draws only happen when the knob is on, so control_plane=0
+        # reproduces the exact plans older seeds produced.
+        if control_plane > 0.0 and rng.random() < control_plane:
+            events.extend(
+                _control_fault(rng, time, hosts, mean_downtime, last_restart)
+            )
+            continue
         active = [entry for entry in active if entry[0] > time]
         down_nodes = _down_per_node(active)
         candidates = [
@@ -357,6 +530,35 @@ def random_plan(
     return FaultPlan(tuple(events))
 
 
+def _control_fault(
+    rng: random.Random,
+    time: float,
+    hosts: Sequence[str],
+    mean_downtime: float,
+    last_restart: Dict[str, float],
+) -> List[FaultEvent]:
+    """Sample one control-plane fault for :func:`random_plan`."""
+    kind = ("echo_loss", "echo_delay", "echo_duplicate", "echo_corrupt",
+            "probe_loss", "vswitch_restart")[rng.randrange(6)]
+    host = hosts[rng.randrange(len(hosts))]
+    if kind == "vswitch_restart":
+        candidates = [
+            h for h in hosts
+            if time - last_restart.get(h, -math.inf) > REBOOTSTRAP_WINDOW
+        ]
+        if not candidates:
+            return []
+        host = candidates[rng.randrange(len(candidates))]
+        last_restart[host] = time
+        return [FaultEvent(time, "vswitch_restart", host=host)]
+    duration = max(mean_downtime, rng.expovariate(0.5 / mean_downtime))
+    rate = rng.uniform(0.1, 0.5)
+    if kind == "echo_delay":
+        return [FaultEvent(time, kind, host=host, rate=rate,
+                           delay=rng.uniform(0.001, 0.005), duration=duration)]
+    return [FaultEvent(time, kind, host=host, rate=rate, duration=duration)]
+
+
 def _down_per_node(active: Sequence[Tuple[float, Cable]]) -> Dict[str, int]:
     """How many of each node's cables are faulted right now."""
     down: Dict[str, int] = {}
@@ -379,6 +581,15 @@ PRESETS: Dict[str, Tuple[Callable[[], FaultPlan], str]] = {
                       "one cable to each spine down from t=0 (>=1 path left)"),
     "storm": (lambda: random_plan(seed=1),
               "seeded random storm of down/degrade intervals (seed=1)"),
+    "echo-storm": (echo_storm,
+                   "lossy/laggy/duplicated/corrupt ECN echoes on every "
+                   "hypervisor from t=0.025"),
+    "restart": (restart_plan,
+                "h1_0 vswitch crash-restart at t=0.03 wiping weights, "
+                "flowlets, discovery, and health"),
+    "split-brain": (split_brain,
+                    "asymmetric feedback: h1_* lose 40% of their echoes, "
+                    "h2_* see everything"),
 }
 
 

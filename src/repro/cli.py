@@ -243,6 +243,7 @@ def cmd_run(args) -> int:
           f" ({m['wall_events']:.0f} events)")
     if args.chaos is not None or args.chaos_preset is not None:
         _print_chaos_metrics(m)
+        _print_controlplane_metrics(m)
     if args.health:
         _print_health_metrics(m)
     if result.audit is not None:
@@ -275,6 +276,24 @@ def _print_chaos_metrics(m) -> None:
           f"{_fmt_chaos(m['chaos_fct_inflation'], 'x', digits=2)}")
     print(f"lost packets : {m['chaos_lost_packets']:.0f}"
           f" ({m['chaos_flushed_packets']:.0f} flushed)")
+
+
+def _print_controlplane_metrics(m) -> None:
+    """The control-plane lines of ``repro run``; silent when the run saw
+    no control-plane faults and no defense counter fired."""
+    if math.isnan(m["controlplane_echo_delivery_ratio"]) and math.isnan(
+        m["controlplane_restarts"]
+    ):
+        return
+    print(f"echo delivery : "
+          f"{_fmt_chaos(m['controlplane_echo_delivery_ratio'], '%', 100, 1)}"
+          f" ({m['controlplane_stale_rejected']:.0f} stale rejected, "
+          f"{m['controlplane_corrupt_dropped']:.0f} corrupt dropped, "
+          f"{m['controlplane_stale_applied']:.0f} stale applied)")
+    print(f"probes dropped : {m['controlplane_probes_dropped']:.0f}")
+    print(f"vswitch restarts : {m['controlplane_restarts']:.0f}"
+          f" (mean re-convergence "
+          f"{_fmt_chaos(m['controlplane_reconverge_s'], ' ms', 1e3)})")
 
 
 def _print_health_metrics(m) -> None:
@@ -436,6 +455,8 @@ def cmd_trace(args) -> int:
 def cmd_chaos(args) -> int:
     """Handle ``repro chaos``: presets, plan dumps, offline reports."""
     from repro.chaos.metrics import (
+        controlplane_from_records,
+        format_controlplane_report,
         format_health_report,
         format_report,
         health_from_records,
@@ -462,16 +483,23 @@ def cmd_chaos(args) -> int:
         return 2
     records = dump["events"] + dump["manifests"]
     report = recovery_from_records(records)
-    if report is None:
+    control = controlplane_from_records(records, counters=dump.get("counters"))
+    if report is None and control is None:
         print(f"{args.file}: no chaos events found (was the run injected "
               "with --chaos/--chaos-preset and --telemetry-out?)",
               file=sys.stderr)
         return 1
-    print(format_report(report))
+    if report is not None:
+        print(format_report(report))
     health = health_from_records(records, counters=dump.get("counters"))
     if health is not None:
-        print()
+        if report is not None:
+            print()
         print(format_health_report(health))
+    if control is not None:
+        if report is not None or health is not None:
+            print()
+        print(format_controlplane_report(control))
     return 0
 
 

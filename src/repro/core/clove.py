@@ -73,6 +73,47 @@ class _FlowletPolicyBase(LoadBalancer):
         if weights is not None:
             weights.attach_telemetry(telemetry)
 
+    def _note_stale_echo(
+        self, feedback: PathFeedback, now: float, reason: str
+    ) -> None:
+        """A stale echo was rejected: count it and leave an audit trail.
+
+        ``reason`` is ``unknown_port`` (the path was remapped away, or the
+        echo names a pre-discovery fallback port) — epoch rejections are
+        counted by the vswitch before feedback is ever built.
+        """
+        weights = getattr(self, "weights", None)
+        if weights is not None:
+            weights.stale_echoes += 1
+        events = self._tel_events
+        if events is not None:
+            events.emit(
+                "clove.stale_echo", now,
+                dst=feedback.dst_ip, port=feedback.port, reason=reason,
+            )
+        trace = self._tel_trace
+        if trace is not None:
+            trace.instant(
+                "clove", "stale_echo", now,
+                dst=feedback.dst_ip, port=feedback.port, reason=reason,
+            )
+
+    def _apply_congestion(self, feedback: PathFeedback, now: float) -> None:
+        """Apply a congestion echo to the weight table, stale-echo safe."""
+        try:
+            self.weights.mark_congested(feedback.dst_ip, feedback.port, now)
+        except KeyError:
+            self._note_stale_echo(feedback, now, "unknown_port")
+            return
+        if (
+            feedback.epoch is not None
+            and feedback.epoch != self.weights.epoch_of(feedback.dst_ip)
+        ):
+            # Only reachable with the vswitch epoch guard disabled: a
+            # previous-generation echo just moved weight.  The pinned
+            # acceptance test asserts this stays 0 under guarded chaos.
+            self.weights.stale_applied += 1
+
 
 class EdgeFlowletPolicy(_FlowletPolicyBase):
     """Edge-Flowlet: a new random source port per flowlet (Section 3.2).
@@ -197,10 +238,7 @@ class CloveEcnPolicy(_FlowletPolicyBase):
 
     def on_path_feedback(self, feedback: PathFeedback, now: float) -> None:
         if feedback.congested:
-            try:
-                self.weights.mark_congested(feedback.dst_ip, feedback.port, now)
-            except KeyError:
-                pass  # stale echo: path remapped, or pre-discovery fallback
+            self._apply_congestion(feedback, now)
         if self.adaptive_gap and feedback.util is not None:
             self._delays.setdefault(feedback.dst_ip, {})[feedback.port] = feedback.util
 
@@ -268,10 +306,7 @@ class CloveIntPolicy(_FlowletPolicyBase):
         if feedback.util is not None:
             self.weights.record_util(feedback.dst_ip, feedback.port, feedback.util, now)
         if feedback.congested:
-            try:
-                self.weights.mark_congested(feedback.dst_ip, feedback.port, now)
-            except KeyError:
-                pass  # stale echo: path remapped, or pre-discovery fallback
+            self._apply_congestion(feedback, now)
 
     def all_paths_congested(self, dst_ip: int, now: float) -> bool:
         return self.weights.all_congested(dst_ip, now)

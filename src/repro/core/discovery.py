@@ -165,6 +165,29 @@ class PathDiscovery:
         """The most recent selection towards ``dst_ip``."""
         return list(self._known.get(dst_ip, []))
 
+    def reset(self) -> List[int]:
+        """Crash-restart wipe: abort in-flight rounds, forget every learned
+        selection and every watched destination.
+
+        Returns the destinations that were watched so the caller (the
+        chaos engine's ``vswitch_restart``) can re-bootstrap by calling
+        :meth:`notice_destination` for each — exactly the cold-start path
+        a freshly booted vswitch takes.  Reprobe events already scheduled
+        by earlier rounds are harmless: ``_reprobe`` checks ``_watched``
+        and ``start_round`` refuses duplicates.
+        """
+        for dst_ip in list(self._rounds):
+            round_ = self._rounds.pop(dst_ip)
+            if round_.timer is not None:
+                round_.timer.cancel()
+            for event in round_.probe_events:
+                event.cancel()
+        self._probe_index.clear()
+        self._known.clear()
+        watched = sorted(self._watched)
+        self._watched.clear()
+        return watched
+
     # ------------------------------------------------------------------
     # Probing
     # ------------------------------------------------------------------

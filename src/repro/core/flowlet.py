@@ -78,6 +78,17 @@ class FlowletTable:
             if entry.port in remap:
                 entry.port = remap[entry.port]
 
+    def clear(self) -> int:
+        """Crash-restart wipe: drop every flow's flowlet binding.
+
+        In-flight flows simply start a fresh flowlet on their next packet
+        (first-packet semantics), exactly as after a real vswitch restart.
+        Returns how many entries were wiped.
+        """
+        wiped = len(self._entries)
+        self._entries.clear()
+        return wiped
+
     def _maybe_sweep(self, now: float) -> None:
         """Drop long-idle flows so the table stays bounded."""
         if now - self._last_sweep < self._evict_age or len(self._entries) < 1024:

@@ -213,6 +213,29 @@ class PathHealthMonitor:
             if rec.phase == STATE_QUARANTINED
         )
 
+    def cold_restart(self) -> int:
+        """Crash-restart wipe: forget every path's health history.
+
+        A restart must read as a *cold start*, not a mass-death signal:
+        in-flight probe timeouts find no outstanding entry (so they never
+        count as losses), loss/RTT history and rediscovery backoff reset,
+        and the next cycle re-seeds paths from the weight table exactly as
+        on first start.  The probe cycle itself keeps running — it is the
+        monitor's heartbeat, not per-path state.  Returns how many tracked
+        paths were wiped.
+        """
+        wiped = len(self._paths)
+        for rec in self._paths.values():
+            if rec.advance_event is not None:
+                rec.advance_event.cancel()
+                rec.advance_event = None
+            self._outage_end(rec, "restart")
+        self._paths.clear()
+        self._outstanding.clear()
+        self._backoff.clear()
+        self._rediscovery_pending.clear()
+        return wiped
+
     # ------------------------------------------------------------------
     # Probe cycle
     # ------------------------------------------------------------------

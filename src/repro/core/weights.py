@@ -87,6 +87,11 @@ class WeightedPathTable:
         #: dst_ip -> list of path states
         self._paths: Dict[int, List[_PathState]] = {}
         self._int_rotation: Dict[int, int] = {}
+        #: dst_ip -> weight-table generation; bumped on every structural
+        #: respread (a set_paths that changes an existing install's port
+        #: set) and on a restart wipe.  Survives :meth:`clear` so epochs
+        #: stay monotonic across a vswitch crash-restart.
+        self._epochs: Dict[int, int] = {}
         # Counters.
         self.weight_reductions = 0
         self.quarantined_total = 0
@@ -94,13 +99,62 @@ class WeightedPathTable:
         #: echoes naming a port this table never installed (stale echoes
         #: after a remap, or echoes for pre-discovery fallback ports)
         self.unknown_ports = 0
+        #: stale echoes observed: unknown-port echoes counted by the
+        #: policies plus epoch-guard rejections counted by the vswitch
+        self.stale_echoes = 0
+        #: stale echoes whose weight update was nonetheless applied — only
+        #: possible with the vswitch epoch guard disabled; the pinned
+        #: acceptance test asserts this stays 0 under chaos with the guard
+        self.stale_applied = 0
+        #: how many times any destination's epoch advanced
+        self.epoch_bumps = 0
 
     #: telemetry hook; instances overwrite via :meth:`attach_telemetry`
     _tel_events = None
+    #: optional ``fn(dst_ip)`` called after any weight change — the chaos
+    #: engine's restart re-convergence watcher hangs off this
+    on_respread = None
 
     def attach_telemetry(self, telemetry) -> None:
         """Bind weight-update event emission to a telemetry scope."""
         self._tel_events = telemetry.events
+
+    def _notify_respread(self, dst_ip: int) -> None:
+        hook = self.on_respread
+        if hook is not None:
+            hook(dst_ip)
+
+    # ------------------------------------------------------------------
+    # Epoch guard (control-plane chaos defense)
+    # ------------------------------------------------------------------
+    def epoch_of(self, dst_ip: int) -> int:
+        """The current weight-table generation towards ``dst_ip``.
+
+        Stamped into outgoing packets; echoes reflecting an older epoch
+        describe a path set that no longer exists and must not be applied.
+        """
+        return self._epochs.get(dst_ip, 0)
+
+    def bump_epoch(self, dst_ip: int) -> int:
+        """Advance ``dst_ip``'s generation; returns the new epoch."""
+        epoch = self._epochs.get(dst_ip, 0) + 1
+        self._epochs[dst_ip] = epoch
+        self.epoch_bumps += 1
+        return epoch
+
+    def clear(self) -> List[int]:
+        """Crash-restart wipe: forget every installed path set.
+
+        Epochs are bumped, not reset — a restarted vswitch must never
+        re-issue an epoch whose echoes may still be in flight.  Returns
+        the destinations that were wiped.
+        """
+        wiped = list(self._paths)
+        for dst_ip in wiped:
+            self.bump_epoch(dst_ip)
+        self._paths.clear()
+        self._int_rotation.clear()
+        return wiped
 
     # ------------------------------------------------------------------
     # Discovery interface
@@ -120,6 +174,7 @@ class WeightedPathTable:
         """
         if not ports:
             raise ValueError("need at least one port")
+        previous_ports = {s.port for s in self._paths.get(dst_ip, [])}
         old = {state.trace: state for state in self._paths.get(dst_ip, []) if state.trace}
         uniform = 1.0 / len(ports)
         states: List[_PathState] = []
@@ -139,6 +194,12 @@ class WeightedPathTable:
             states.append(state)
         self._normalize(states)
         self._paths[dst_ip] = states
+        # A structural respread: echoes about the old port set are now
+        # meaningless, so open a new generation.  First installs keep
+        # epoch 0 — there is no old state a late echo could clash with.
+        if previous_ports and previous_ports != set(ports):
+            self.bump_epoch(dst_ip)
+        self._notify_respread(dst_ip)
         return remap
 
     def set_static_weights(self, dst_ip: int, weights: Sequence[float]) -> None:
@@ -154,6 +215,7 @@ class WeightedPathTable:
             if i < len(weights):
                 state.weight = max(float(weights[i]), _MIN_WEIGHT)
         self._normalize(states)
+        self._notify_respread(dst_ip)
 
     def has_paths(self, dst_ip: int) -> bool:
         """Whether a port set has been installed for ``dst_ip``."""
@@ -281,6 +343,7 @@ class WeightedPathTable:
         target.wrr_current = 0.0
         self.quarantined_total += 1
         self._normalize(self._paths[dst_ip])
+        self._notify_respread(dst_ip)
         return True
 
     def begin_probation(self, dst_ip: int, port: int, fraction: float) -> bool:
@@ -301,6 +364,7 @@ class WeightedPathTable:
         target.weight = fraction / max(len(selectable), 1)
         target.wrr_current = 0.0
         self._normalize(states)
+        self._notify_respread(dst_ip)
         return True
 
     def promote(self, dst_ip: int, port: int) -> bool:
@@ -318,6 +382,7 @@ class WeightedPathTable:
         target.weight = 1.0 / max(len(selectable), 1)
         self.restored_total += 1
         self._normalize(states)
+        self._notify_respread(dst_ip)
         return True
 
     # ------------------------------------------------------------------
@@ -429,6 +494,7 @@ class WeightedPathTable:
             target.weight += removed  # single-path destination: no-op
         self._normalize(states)
         self.weight_reductions += 1
+        self._notify_respread(dst_ip)
         if self._tel_events is not None:
             self._tel_events.emit(
                 "clove.weight_update", now,

@@ -382,6 +382,10 @@ def run_experiment(
             host.health.start()
         hosts[name] = host
 
+    if chaos_engine is not None:
+        # Control-plane events target hypervisors, which only now exist.
+        chaos_engine.attach_hosts(hosts, rng)
+
     # ------------------------------------------------------------------
     # Workload: leaf-1 hosts are clients, leaf-2 hosts are servers
     # ------------------------------------------------------------------

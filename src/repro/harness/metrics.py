@@ -54,6 +54,15 @@ METRIC_KEYS: Tuple[str, ...] = (
     "health_probes_lost",
     "health_detection_latency_s",
     "health_probation_s",
+    # control-plane chaos metrics (repro.chaos.metrics); all NaN when the
+    # run saw no control-plane faults and no defense counter fired
+    "controlplane_echo_delivery_ratio",
+    "controlplane_stale_rejected",
+    "controlplane_stale_applied",
+    "controlplane_corrupt_dropped",
+    "controlplane_probes_dropped",
+    "controlplane_restarts",
+    "controlplane_reconverge_s",
     # total invariant-violation occurrences (repro.audit); NaN when the run
     # was not audited, 0.0 on a clean audited run
     "audit_violations",
@@ -70,7 +79,11 @@ def standard_metrics(result) -> Dict[str, float]:
     The ``chaos_*`` keys carry the recovery metrics of the run's fault
     plan (see :mod:`repro.chaos.metrics`) and are NaN on fault-free runs.
     """
-    from repro.chaos.metrics import health_from_result, recovery_from_result
+    from repro.chaos.metrics import (
+        controlplane_from_result,
+        health_from_result,
+        recovery_from_result,
+    )
 
     collector = result.collector
     summary = collector.summary()
@@ -79,6 +92,7 @@ def standard_metrics(result) -> Dict[str, float]:
     elephants = collector.summary(min_size=int(ELEPHANT_CUTOFF_BYTES * scale))
     recovery = recovery_from_result(result)
     health = health_from_result(result)
+    control = controlplane_from_result(result)
     return {
         "avg_fct": summary.mean if summary else _NAN,
         "p50_fct": summary.p50 if summary else _NAN,
@@ -112,6 +126,25 @@ def standard_metrics(result) -> Dict[str, float]:
             health.detection_latency_s if health else _NAN
         ),
         "health_probation_s": health.probation_s if health else _NAN,
+        "controlplane_echo_delivery_ratio": (
+            control.echo_delivery_ratio if control else _NAN
+        ),
+        "controlplane_stale_rejected": (
+            float(control.echoes_stale_rejected) if control else _NAN
+        ),
+        "controlplane_stale_applied": (
+            float(control.stale_applied) if control else _NAN
+        ),
+        "controlplane_corrupt_dropped": (
+            float(control.echoes_corrupt_dropped) if control else _NAN
+        ),
+        "controlplane_probes_dropped": (
+            float(control.probes_dropped) if control else _NAN
+        ),
+        "controlplane_restarts": float(control.restarts) if control else _NAN,
+        "controlplane_reconverge_s": (
+            control.reconverge_s if control else _NAN
+        ),
         "audit_violations": (
             float(result.audit.violations) if result.audit is not None else _NAN
         ),

@@ -56,6 +56,11 @@ class Host:
         self.telemetry = None
         net.register_host_receiver(name, self.receive)
 
+    #: control-plane fault state (repro.chaos.engine.ControlPlaneState);
+    #: installed by ChaosEngine.attach_hosts only on targeted hosts, so
+    #: fault-free runs pay a single class-attribute read per control packet
+    control_faults = None
+
     def attach_telemetry(self, telemetry) -> None:
         """Bind this host (vswitch, policy, guest transports) to a scope."""
         self.telemetry = telemetry
@@ -100,6 +105,16 @@ class Host:
         self.rx_packets += 1
         meta = packet.meta
         if meta:
+            # Chaos probe_loss: discovery ICMP/probe traffic and liveness
+            # probes vanish here, after the rx count (the conservation
+            # ledger books them as delivered, then discarded).
+            faults = self.control_faults
+            if (
+                faults is not None
+                and ("probe" in meta or "probe_reply" in meta or "icmp" in meta)
+                and faults.drop_probe()
+            ):
+                return
             if "icmp" in meta and self.prober is not None:
                 self.prober.on_icmp(packet)
                 return

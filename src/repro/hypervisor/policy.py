@@ -25,13 +25,18 @@ class PathFeedback:
     ``dst_ip``   — the remote hypervisor the path leads to;
     ``port``     — the encapsulation source port identifying the path;
     ``congested``— True when the remote echoed an ECN CE observation;
-    ``util``     — max path utilization echoed by Clove-INT (None for ECN).
+    ``util``     — max path utilization echoed by Clove-INT (None for ECN);
+    ``epoch``    — the sender's weight-table epoch the echoed state was
+    learned under (None when the data path carried no epoch, e.g. a
+    non-Clove policy); lets epoch-aware policies spot feedback that
+    predates a respread or restart.
     """
 
     dst_ip: int
     port: int
     congested: bool
     util: Optional[float] = None
+    epoch: Optional[int] = None
 
 
 class LoadBalancer:

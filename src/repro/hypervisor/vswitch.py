@@ -39,7 +39,7 @@ class _PathEchoState:
     """Pending telemetry to reflect to one remote hypervisor, per port."""
 
     __slots__ = ("ecn_pending", "last_ecn_relay", "util", "util_fresh",
-                 "ecn_seen_at")
+                 "ecn_seen_at", "epoch")
 
     def __init__(self) -> None:
         self.ecn_pending = False
@@ -48,6 +48,9 @@ class _PathEchoState:
         self.util_fresh = False
         #: when the pending CE observation was first made (trace timing)
         self.ecn_seen_at: Optional[float] = None
+        #: the sender's weight-table epoch last seen on this path; echoes
+        #: reflect it so the sender can reject previous-generation feedback
+        self.epoch: Optional[int] = None
 
 
 class _ReassemblyBuffer:
@@ -92,11 +95,22 @@ class VSwitch:
         self._echo: Dict[int, Dict[int, _PathEchoState]] = {}
         self._echo_rotation: Dict[int, int] = {}
         self._reassembly: Dict[FlowKey, _ReassemblyBuffer] = {}
+        #: the policy's WeightedPathTable, cached so the per-packet epoch
+        #: stamp costs one attribute read instead of a getattr
+        self._weights = getattr(policy, "weights", None)
         # Counters.
         self.tx_encapsulated = 0
         self.rx_encapsulated = 0
         self.echoes_sent = 0
+        #: echoes that arrived carrying context bits (before any chaos
+        #: interception or guard) — the denominator of the echo ledger
+        self.echoes_carried = 0
+        #: echoes actually consumed (after chaos, bounds and epoch checks)
         self.echoes_received = 0
+        #: echoes dropped by the bounds check on garbled context bits
+        self.echoes_corrupt_dropped = 0
+        #: echoes rejected because they reflect a previous weight epoch
+        self.echoes_stale_rejected = 0
         self.guest_ecn_injected = 0
 
     #: telemetry hooks; instances overwrite via :meth:`attach_telemetry`
@@ -106,6 +120,12 @@ class VSwitch:
     #: Auditor.attach — the same class-attr-None discipline keeps the
     #: unaudited receive path to one ``is None`` test
     _audit = None
+    #: control-plane fault state (repro.chaos.engine.ControlPlaneState);
+    #: installed by ChaosEngine.attach_hosts only on targeted hosts
+    control_faults = None
+    #: reject echoes from a previous weight-table epoch; a test-only
+    #: escape hatch disables it to demonstrate the stale_applied hazard
+    epoch_guard = True
 
     def attach_telemetry(self, telemetry) -> None:
         """Bind echo/rewrite event emission here and propagate to the policy."""
@@ -138,6 +158,8 @@ class VSwitch:
             # Stand-in for the NIC timestamp of Section 7 (perfectly
             # synchronized clocks in simulation).
             packet.meta["clove_ts"] = self.sim.now
+        if self._weights is not None:
+            packet.clove_epoch = self._weights.epoch_of(dst_hyp)
         self._attach_echo(packet, dst_hyp)
         self.tx_encapsulated += 1
         self.host.nic_send(packet)
@@ -166,6 +188,8 @@ class VSwitch:
         packet.ect = self.policy.wants_ecn
         if getattr(self.policy, "wants_latency", False):
             packet.meta["clove_ts"] = self.sim.now
+        if self._weights is not None:
+            packet.clove_epoch = self._weights.epoch_of(inner.dst_ip)
         self._attach_echo(packet, inner.dst_ip)
         self.tx_encapsulated += 1
         self.host.nic_send(packet)
@@ -198,6 +222,7 @@ class VSwitch:
                 packet.stt_echo_ecn = True
                 packet.stt_echo_util = state.util if state.util_fresh else None
                 packet.stt_echo_seen = state.ecn_seen_at
+                packet.stt_echo_epoch = state.epoch
                 state.ecn_pending = False
                 state.ecn_seen_at = None
                 state.util_fresh = False
@@ -209,6 +234,7 @@ class VSwitch:
                 packet.stt_echo_port = port
                 packet.stt_echo_ecn = False
                 packet.stt_echo_util = state.util
+                packet.stt_echo_epoch = state.epoch
                 state.util_fresh = False
                 self._echo_rotation[dst_hyp] = (start + i + 1) % len(ports)
                 self.echoes_sent += 1
@@ -237,6 +263,8 @@ class VSwitch:
             state.ecn_pending = True
             if self._audit is not None:
                 self._audit.on_ce_observed(self.host.ip, remote, path_port)
+        if packet.clove_epoch is not None:
+            state.epoch = packet.clove_epoch
         if packet.int_enabled:
             state.util = packet.int_max_util
             state.util_fresh = True
@@ -248,61 +276,18 @@ class VSwitch:
             state.util_fresh = True
 
         # (2) consume any echo the remote attached about our forward paths.
+        # The chaos filter may drop, delay, duplicate, or garble the echo
+        # before the bounds and epoch guards see it.
         if self.policy is not None and packet.stt_echo_port is not None:
-            self.echoes_received += 1
-            if self._audit is not None and packet.stt_echo_ecn:
-                self._audit.on_echo_consumed(
-                    self.host.ip, remote, packet.stt_echo_port
-                )
-            if self._tel_events is not None:
-                self._tel_events.emit(
-                    "clove.ecn_echo" if packet.stt_echo_ecn else "clove.int_echo",
-                    self.sim.now,
-                    host=self.host.name, remote=remote,
-                    port=packet.stt_echo_port, util=packet.stt_echo_util,
-                )
-            # The ECN reaction chain as one span: from the instant the
-            # remote hypervisor saw CE (carried in the echo context) to the
-            # weight-table respread that reacts to it.
-            trace = self._tel_trace
-            reaction = None
-            if trace is not None and packet.stt_echo_ecn:
-                seen = (
-                    packet.stt_echo_seen
-                    if packet.stt_echo_seen is not None else self.sim.now
-                )
-                reaction = trace.begin(
-                    "reaction", f"ecn:{packet.stt_echo_port}", seen,
-                    host=self.host.name, remote=remote,
-                    port=packet.stt_echo_port,
-                )
-            self.policy.on_path_feedback(
-                PathFeedback(
-                    dst_ip=remote,
-                    port=packet.stt_echo_port,
-                    congested=packet.stt_echo_ecn,
-                    util=packet.stt_echo_util,
-                ),
-                self.sim.now,
-            )
-            if reaction is not None:
-                weights = getattr(self.policy, "weights", None)
-                if weights is not None:
-                    snapshot = weights.weights_for(remote)
-                    if snapshot:
-                        trace.instant(
-                            "respread", "weights_respread", self.sim.now,
-                            parent=reaction.sid,
-                            weights=weights_fingerprint(snapshot),
-                        )
-                trace.end(reaction, self.sim.now)
-            if self.host.health is not None:
-                # An echo about a path proves packets we sent on it made it
-                # to the remote: data-plane liveness between health probes.
-                self.host.health.on_echo(
-                    remote, packet.stt_echo_port,
-                    congested=packet.stt_echo_ecn,
-                )
+            self.echoes_carried += 1
+            args = (remote, packet.stt_echo_port, packet.stt_echo_ecn,
+                    packet.stt_echo_util, packet.stt_echo_epoch,
+                    packet.stt_echo_seen)
+            faults = self.control_faults
+            if faults is not None:
+                args = faults.filter_echo(self, args)
+            if args is not None:
+                self._consume_echo(*args)
 
         # (3) mask underlay ECN from the guest; inject ECE only when every
         # path to the remote is congested.
@@ -327,6 +312,109 @@ class VSwitch:
             self._reassemble(packet)
         else:
             self.host.deliver_to_guest(packet)
+
+    def _consume_echo(
+        self,
+        remote: int,
+        port: int,
+        ecn: bool,
+        util: Optional[float],
+        epoch: Optional[int],
+        seen: Optional[float],
+    ) -> None:
+        """Guard and apply one reflected echo about our forward paths.
+
+        Exactly one of three things happens: the echo is dropped as
+        corrupt (out-of-bounds context bits), rejected as stale (it
+        reflects a previous weight-table epoch), or consumed — counted in
+        ``echoes_corrupt_dropped`` / ``echoes_stale_rejected`` /
+        ``echoes_received`` respectively, which is what lets the audit
+        ledger balance the echo books.  Called directly by the chaos
+        filter for delayed and duplicated copies.
+        """
+        # Bounds check: a garbled echo must never reach the weight table.
+        if (
+            not 0 <= port <= 65535
+            or (util is not None and not 0.0 <= util < 1e6)
+        ):
+            self.echoes_corrupt_dropped += 1
+            if self._tel_events is not None:
+                self._tel_events.emit(
+                    "clove.echo_corrupt", self.sim.now,
+                    host=self.host.name, remote=remote,
+                    port=port, util=util,
+                )
+            return
+        # Epoch guard: feedback about a path set that predates a respread
+        # or a vswitch restart is counted, never applied.
+        weights = self._weights
+        if (
+            self.epoch_guard
+            and weights is not None
+            and epoch is not None
+            and epoch != weights.epoch_of(remote)
+        ):
+            self.echoes_stale_rejected += 1
+            weights.stale_echoes += 1
+            if self._tel_events is not None:
+                self._tel_events.emit(
+                    "clove.stale_echo", self.sim.now,
+                    host=self.host.name, remote=remote, port=port,
+                    reason="epoch", echo_epoch=epoch,
+                    current_epoch=weights.epoch_of(remote),
+                )
+            if self._tel_trace is not None:
+                self._tel_trace.instant(
+                    "clove", "stale_echo", self.sim.now,
+                    host=self.host.name, remote=remote, port=port,
+                    reason="epoch",
+                )
+            return
+        self.echoes_received += 1
+        if self._audit is not None and ecn:
+            self._audit.on_echo_consumed(self.host.ip, remote, port)
+        if self._tel_events is not None:
+            self._tel_events.emit(
+                "clove.ecn_echo" if ecn else "clove.int_echo",
+                self.sim.now,
+                host=self.host.name, remote=remote,
+                port=port, util=util,
+            )
+        # The ECN reaction chain as one span: from the instant the
+        # remote hypervisor saw CE (carried in the echo context) to the
+        # weight-table respread that reacts to it.
+        trace = self._tel_trace
+        reaction = None
+        if trace is not None and ecn:
+            reaction = trace.begin(
+                "reaction", f"ecn:{port}",
+                seen if seen is not None else self.sim.now,
+                host=self.host.name, remote=remote, port=port,
+            )
+        self.policy.on_path_feedback(
+            PathFeedback(
+                dst_ip=remote,
+                port=port,
+                congested=ecn,
+                util=util,
+                epoch=epoch,
+            ),
+            self.sim.now,
+        )
+        if reaction is not None:
+            if weights is not None:
+                snapshot = weights.weights_for(remote)
+                if snapshot:
+                    trace.instant(
+                        "respread", "weights_respread", self.sim.now,
+                        parent=reaction.sid,
+                        weights=weights_fingerprint(snapshot),
+                    )
+            trace.end(reaction, self.sim.now)
+        if self.host.health is not None:
+            # An echo about a path proves packets we sent on it made it
+            # to the remote: data-plane liveness between health probes.
+            self.host.health.on_echo(remote, port, congested=ecn)
 
     # ------------------------------------------------------------------
     # Presto flowcell reassembly

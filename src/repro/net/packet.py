@@ -64,7 +64,9 @@ class Packet:
         "pid", "inner", "outer", "size", "payload_bytes",
         "seq", "ack", "flags", "ttl",
         "ect", "ce",
+        "clove_epoch",
         "stt_echo_port", "stt_echo_ecn", "stt_echo_util", "stt_echo_seen",
+        "stt_echo_epoch",
         "int_enabled", "int_max_util",
         "flowcell_id", "flowcell_seq",
         "dsn", "subflow_id",
@@ -93,6 +95,10 @@ class Packet:
         # running without an overlay).
         self.ect = False                  # ECN-Capable Transport
         self.ce = False                   # Congestion Experienced
+        # Weight-table epoch of the sending hypervisor for this packet's
+        # destination; echoes reflect it back so the sender can reject
+        # feedback that predates a respread or vswitch restart.
+        self.clove_epoch: Optional[int] = None
         # STT context bits (set by the destination hypervisor on reverse
         # traffic to reflect forward-path congestion back to the source).
         self.stt_echo_port: Optional[int] = None
@@ -101,6 +107,8 @@ class Packet:
         # When the destination hypervisor first saw CE on this path (sim
         # time) — lets the source measure its detection->reaction latency.
         self.stt_echo_seen: Optional[float] = None
+        # Epoch the echoed path state was learned under (see clove_epoch).
+        self.stt_echo_epoch: Optional[int] = None
         # In-band Network Telemetry.
         self.int_enabled = False
         self.int_max_util = 0.0

@@ -37,7 +37,10 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 #: v5: ``audit_violations`` joined the standard payload,
 #: ``ExperimentConfig`` grew the ``audit`` mode field, and cache records
 #: carry an optional serialized AuditReport under ``audit``.
-SCHEMA_VERSION = 5
+#: v6: controlplane_* metrics joined the standard payload, ``FaultEvent``
+#: grew the control-plane fields (host/rate/delay/duration/wipe), and
+#: epoch guards changed echo-consumption semantics on faulted runs.
+SCHEMA_VERSION = 6
 
 #: the kinds of work the runner knows how to execute
 JOB_KINDS = ("experiment", "incast")

@@ -1,17 +1,20 @@
 """Bundled suites: the scenario matrices the repo itself gates on.
 
-Five suites ship with the reproduction:
+Six suites ship with the reproduction:
 
-================  ==========================================================
-``paper-smoke``   CI-speed slice of the paper grid (committed baselines;
-                  the ``suite-smoke`` CI job runs ``check`` against them)
-``paper-full``    the full Section 5/6 comparison grid (all schemes,
-                  symmetric + asymmetric, three seeds) — hours, not minutes
-``chaos``         scheme x fault-preset recovery matrix
-``health``        self-healing on/off under a flap, with and without the
-                  stale-ECMP failover window
-``workloads``     scheme x flow-size-distribution matrix
-================  ==========================================================
+=================  =========================================================
+``paper-smoke``    CI-speed slice of the paper grid (committed baselines;
+                   the ``suite-smoke`` CI job runs ``check`` against them)
+``paper-full``     the full Section 5/6 comparison grid (all schemes,
+                   symmetric + asymmetric, three seeds) — hours, not minutes
+``chaos``          scheme x fault-preset recovery matrix
+``control-plane``  Clove vs ECMP under echo-loss sweeps and vswitch restart
+                   storms (committed baselines; the ``control-plane-smoke``
+                   CI job runs ``check`` against them)
+``health``         self-healing on/off under a flap, with and without the
+                   stale-ECMP failover window
+``workloads``      scheme x flow-size-distribution matrix
+=================  =========================================================
 
 Each is a plain :class:`~repro.suite.spec.SuiteSpec` built through the
 same validation as file-loaded specs; ``repro suite show <name>`` prints
@@ -155,6 +158,72 @@ def health_suite() -> SuiteSpec:
     )
 
 
+def _echo_loss_plan(rate: float) -> Dict[str, object]:
+    """A plan dict dropping ``rate`` of every hypervisor's echoes from t=0."""
+    return {"events": [
+        {"time": 0.0, "action": "echo_loss", "host": "*", "rate": rate},
+    ]}
+
+
+#: staggered crash-restarts across the client edge (the "restart storm");
+#: same-host repeats spaced by more than the re-bootstrap window
+_RESTART_STORM = {"events": [
+    {"time": 0.01, "action": "vswitch_restart", "host": "h1_0", "wipe": "all"},
+    {"time": 0.015, "action": "vswitch_restart", "host": "h1_1",
+     "wipe": "weights,flowlets"},
+    {"time": 0.035, "action": "vswitch_restart", "host": "h1_0",
+     "wipe": "all"},
+]}
+
+
+def control_plane_suite() -> SuiteSpec:
+    """Clove vs ECMP under echo-loss sweeps and restart storms."""
+    base = {
+        "jobs_per_client": 20,
+        "clients_per_leaf": 2,
+        "connections_per_client": 1,
+        "load": 0.5,
+    }
+    return SuiteSpec(
+        name="control-plane",
+        description=(
+            "Clove vs ECMP goodput under echo-loss sweeps (0-50%) and "
+            "vswitch restart storms; epoch-guard regression gate"
+        ),
+        seeds=(1, 2),
+        metrics=("avg_fct", "p99_fct", "completion_rate"),
+        scenarios=[
+            # Echo-loss sweep: one scenario per loss level so ids stay
+            # readable (a dict-valued matrix axis renders as "custom").
+            ScenarioSpec(
+                name="echo-loss-0",
+                base=dict(base),
+                matrix={"scheme": ["ecmp", "clove-ecn"]},
+            ),
+            ScenarioSpec(
+                name="echo-loss-10",
+                base={**base, "chaos": _echo_loss_plan(0.1)},
+                matrix={"scheme": ["ecmp", "clove-ecn"]},
+            ),
+            ScenarioSpec(
+                name="echo-loss-30",
+                base={**base, "chaos": _echo_loss_plan(0.3)},
+                matrix={"scheme": ["ecmp", "clove-ecn"]},
+            ),
+            ScenarioSpec(
+                name="echo-loss-50",
+                base={**base, "chaos": _echo_loss_plan(0.5)},
+                matrix={"scheme": ["ecmp", "clove-ecn"]},
+            ),
+            ScenarioSpec(
+                name="restart-storm",
+                base={**base, "chaos": _RESTART_STORM, "health": True},
+                matrix={"scheme": ["ecmp", "clove-ecn"]},
+            ),
+        ],
+    )
+
+
 def workloads_suite() -> SuiteSpec:
     """Scheme x flow-size-distribution matrix."""
     return SuiteSpec(
@@ -182,6 +251,7 @@ _BUNDLES = {
     "paper-smoke": paper_smoke,
     "paper-full": paper_full,
     "chaos": chaos_suite,
+    "control-plane": control_plane_suite,
     "health": health_suite,
     "workloads": workloads_suite,
 }

@@ -159,6 +159,13 @@ class Telemetry:
             reg.counter("vswitch.rx_encapsulated", **labels).set_total(vswitch.rx_encapsulated)
             reg.counter("vswitch.echoes_sent", **labels).set_total(vswitch.echoes_sent)
             reg.counter("vswitch.echoes_received", **labels).set_total(vswitch.echoes_received)
+            reg.counter("vswitch.echoes_carried", **labels).set_total(vswitch.echoes_carried)
+            reg.counter("vswitch.echoes_corrupt_dropped", **labels).set_total(
+                vswitch.echoes_corrupt_dropped
+            )
+            reg.counter("vswitch.echoes_stale_rejected", **labels).set_total(
+                vswitch.echoes_stale_rejected
+            )
             reg.counter("vswitch.guest_ecn_injected", **labels).set_total(vswitch.guest_ecn_injected)
             policy = vswitch.policy
             weights = getattr(policy, "weights", None)
@@ -168,6 +175,35 @@ class Telemetry:
                 )
                 reg.counter("weights.unknown_port", **labels).set_total(
                     weights.unknown_ports
+                )
+                reg.counter("weights.stale_echoes", **labels).set_total(
+                    weights.stale_echoes
+                )
+                reg.counter("weights.stale_applied", **labels).set_total(
+                    weights.stale_applied
+                )
+                reg.counter("weights.epoch_bumps", **labels).set_total(
+                    weights.epoch_bumps
+                )
+            faults = getattr(host, "control_faults", None)
+            if faults is not None:
+                reg.counter("chaos.echoes_dropped", **labels).set_total(
+                    faults.echoes_dropped
+                )
+                reg.counter("chaos.echoes_delayed", **labels).set_total(
+                    faults.echoes_delayed
+                )
+                reg.counter("chaos.echoes_delivered_late", **labels).set_total(
+                    faults.echoes_delivered_late
+                )
+                reg.counter("chaos.echoes_duplicated", **labels).set_total(
+                    faults.echoes_duplicated
+                )
+                reg.counter("chaos.echoes_corrupted", **labels).set_total(
+                    faults.echoes_corrupted
+                )
+                reg.counter("chaos.probes_dropped", **labels).set_total(
+                    faults.probes_dropped
                 )
             health = getattr(host, "health", None)
             if health is not None:

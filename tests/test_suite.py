@@ -237,7 +237,8 @@ def test_bundled_suites_expand_and_unknown_name_lists_valid():
         assert scenarios, name
         assert name == spec.name
     assert set(bundle_names()) == {
-        "chaos", "health", "paper-full", "paper-smoke", "workloads",
+        "chaos", "control-plane", "health", "paper-full", "paper-smoke",
+        "workloads",
     }
     with pytest.raises(KeyError, match="bundled suites"):
         bundled_suite("paper-jumbo")
