@@ -21,6 +21,9 @@ def check_queues(report: AuditReport, net, now: float) -> None:
     """Queue occupancy: bounded, non-negative, byte count consistent."""
     report.note_checked("queue.occupancy", 1)
     for link in net.all_links():
+        # Fold lazily-evicted (already transmitting) packets out of the
+        # buffer so occupancy reflects the true waiting set.
+        link.sync()
         queue = link.queue
         depth = len(queue)
         if depth > queue.capacity_packets:

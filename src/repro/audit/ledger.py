@@ -77,6 +77,9 @@ def gather(net, hosts: Iterable) -> LedgerSnapshot:
         snap.ttl_expired += switch.ttl_expired
         snap.blackholed += switch.blackholed
     for link in net.all_links():
+        # Settle the virtual-clock transmitter first so the queued/transit
+        # split is exact at this instant.
+        link.sync()
         stats = link.queue.stats
         snap.dropped += stats.dropped + stats.probe_dropped
         snap.lost_in_flight += link.lost_in_flight

@@ -565,16 +565,23 @@ def _audit_run(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Handle ``repro bench report``: the benchmark-history trend table."""
-    from repro.harness.bench import render_report
+    """Handle ``repro bench report``: the benchmark-history trend table.
+
+    With ``--check`` the latest record of every bench is also gated:
+    exit 1 (after the table) if any is outside its target ratio.
+    """
+    from repro.harness.bench import latest_failures, render_report
 
     try:
         print(render_report(args.dir))
+        failures = latest_failures(args.dir) if args.check else []
     except (OSError, ValueError) as exc:
         print(f"cannot read benchmark histories under {args.dir!r}: {exc}",
               file=sys.stderr)
         return 2
-    return 0
+    for line in failures:
+        print(line, file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _suite_spec(args):
@@ -886,6 +893,9 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render every BENCH_*.json history as one trend table")
     p_breport.add_argument("--dir", default="benchmarks", metavar="DIR",
                            help="directory holding the BENCH_*.json files")
+    p_breport.add_argument("--check", action="store_true",
+                           help="exit 1 if any bench's latest record is "
+                                "outside its gate (ratio gates included)")
     p_breport.set_defaults(fn=cmd_bench)
 
     p_suite = sub.add_parser(

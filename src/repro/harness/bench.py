@@ -18,6 +18,26 @@ so the trend across subsystems is readable as a set::
 :func:`append_record` maintains the JSON history list, and
 :func:`render_report` renders every history under a directory as one
 trend table — ``repro bench report`` is a thin wrapper over it.
+
+A second record *kind* measures raw simulation throughput instead of a
+feature's overhead ratio (``benchmarks/bench_core.py``)::
+
+    {"bench": "core", "kind": "throughput", "recorded_unix": ...,
+     "git_rev": "...",
+     "scenarios": {"clove-ecn-leafspine":
+                       {"wall_s": 3.1, "packets": 57308, "events": 468595,
+                        "sim_s": 1.93, "packets_per_sec": 18486.4,
+                        "events_per_sec": 151159.7, "sim_per_wall": 0.62},
+                   ...},
+     "gates": {"clove_vs_ecmp_slowdown":
+                   {"value": 1.62, "limit": 3.0, "ok": true}, ...},
+     "within_target": true}
+
+Absolute rates are machine-dependent and therefore never gated; the
+``gates`` entries are *ratios between scenarios of the same run* (e.g.
+Clove-vs-ECMP slowdown), which CI can check anywhere.
+:func:`make_throughput_record` builds these;
+:func:`latest_failures` backs ``repro bench report --check``.
 """
 
 from __future__ import annotations
@@ -64,6 +84,51 @@ def make_record(
     return record
 
 
+def make_throughput_record(
+    bench: str,
+    scenarios: Dict[str, Dict[str, Any]],
+    gates: Optional[Dict[str, Any]] = None,
+    **extras: Any,
+) -> Dict[str, Any]:
+    """One throughput-tier record (``kind: "throughput"``).
+
+    ``scenarios`` maps a scenario name to its raw measurements
+    (``wall_s``, ``packets``, ``events``, ``sim_s``); the per-second
+    rates are derived here.  ``gates`` maps a gate name to a
+    ``(value, limit)`` pair of machine-independent ratios; the gate holds
+    when ``value <= limit`` and ``within_target`` is their conjunction.
+    """
+    scenario_out: Dict[str, Dict[str, Any]] = {}
+    for name, raw in scenarios.items():
+        wall = float(raw["wall_s"])
+        scenario_out[name] = {
+            "wall_s": round(wall, 3),
+            "packets": int(raw["packets"]),
+            "events": int(raw["events"]),
+            "sim_s": round(float(raw["sim_s"]), 6),
+            "packets_per_sec": round(raw["packets"] / wall, 1) if wall else 0.0,
+            "events_per_sec": round(raw["events"] / wall, 1) if wall else 0.0,
+            "sim_per_wall": round(raw["sim_s"] / wall, 4) if wall else 0.0,
+        }
+    gates_out: Dict[str, Dict[str, Any]] = {}
+    within = True
+    for name, (value, limit) in (gates or {}).items():
+        ok = value <= limit
+        within = within and ok
+        gates_out[name] = {"value": round(value, 3), "limit": limit, "ok": ok}
+    record: Dict[str, Any] = {
+        "bench": bench,
+        "kind": "throughput",
+        "recorded_unix": time.time(),
+        "git_rev": git_revision(),
+        "scenarios": scenario_out,
+        "gates": gates_out,
+        "within_target": within,
+    }
+    record.update(extras)
+    return record
+
+
 def append_record(path: Union[str, Path], record: Dict[str, Any]) -> None:
     """Append ``record`` to the JSON history list at ``path``."""
     path = Path(path)
@@ -91,14 +156,21 @@ def load_records(bench_dir: Union[str, Path]) -> List[Dict[str, Any]]:
             history = json.loads(path.read_text())
         except ValueError as exc:
             raise ValueError(f"{path}: {exc}") from exc
+        if not isinstance(history, list):
+            raise ValueError(f"{path}: expected a JSON list of records")
+        if not history:
+            raise ValueError(f"{path}: empty benchmark history")
         stem = path.stem[len("BENCH_"):]
-        for raw in history:
-            if isinstance(raw, dict):
-                records.append(_normalize(raw, stem))
+        for index, raw in enumerate(history):
+            if not isinstance(raw, dict):
+                raise ValueError(f"{path}: record #{index} is not an object")
+            records.append(_normalize(raw, stem))
     return records
 
 
 def _normalize(record: Dict[str, Any], stem: str) -> Dict[str, Any]:
+    if record.get("kind") == "throughput":
+        return record
     if "bench" in record and "wall_s" in record:
         return record
     out = dict(record)
@@ -120,32 +192,76 @@ def _normalize(record: Dict[str, Any], stem: str) -> Dict[str, Any]:
 
 
 def render_report(bench_dir: Union[str, Path]) -> str:
-    """The benchmark trend table, one row per record, grouped by bench."""
+    """The benchmark trend tables: overhead records then throughput records.
+
+    Every metric column carries a delta against the *previous* record of
+    the same bench (percent change for seconds/rates, points for the
+    overhead percentage); the first record of a bench shows ``-``.
+    """
     records = load_records(bench_dir)
     if not records:
         return f"(no BENCH_*.json histories under {bench_dir})"
     records.sort(key=lambda r: (r.get("bench", "?"), r.get("recorded_unix", 0.0)))
-    header = (
-        f"{'bench':<8} {'recorded':<10} {'rev':<8} "
-        f"{'base_s':>7} {'wall_s':>7} {'ovh%':>7} {'gate':>6}  ok"
-    )
-    lines = [header, "-" * len(header)]
-    for record in records:
-        when = record.get("recorded_unix")
-        day = (
-            datetime.fromtimestamp(when, tz=timezone.utc).strftime("%Y-%m-%d")
-            if isinstance(when, (int, float)) else "?"
+    overhead = [r for r in records if r.get("kind") != "throughput"]
+    throughput = [r for r in records if r.get("kind") == "throughput"]
+
+    lines: List[str] = []
+    if overhead:
+        header = (
+            f"{'bench':<12} {'recorded':<10} {'rev':<8} "
+            f"{'base_s':>7} {'Δbase%':>7} {'wall_s':>7} {'Δwall%':>7} "
+            f"{'ovh%':>7} {'Δovh':>6} {'gate':>6}  ok"
         )
-        rev = (record.get("git_rev") or "?")[:7]
-        gate = record.get("gate_pct")
-        lines.append(
-            f"{record.get('bench', '?'):<8} {day:<10} {rev:<8} "
-            f"{_num(record.get('baseline_s')):>7} "
-            f"{_num(record.get('wall_s')):>7} "
-            f"{_num(record.get('overhead_pct')):>7} "
-            f"{('<' + format(gate, 'g') if gate is not None else '-'):>6}  "
-            f"{'yes' if record.get('within_target', True) else 'NO'}"
+        lines += [header, "-" * len(header)]
+        previous: Dict[str, Dict[str, Any]] = {}
+        for record in overhead:
+            name = record.get("bench", "?")
+            prev = previous.get(name)
+            gate = record.get("gate_pct")
+            lines.append(
+                f"{name:<12} {_day(record):<10} {_rev(record):<8} "
+                f"{_num(record.get('baseline_s')):>7} "
+                f"{_delta_pct(record.get('baseline_s'), prev, 'baseline_s'):>7} "
+                f"{_num(record.get('wall_s')):>7} "
+                f"{_delta_pct(record.get('wall_s'), prev, 'wall_s'):>7} "
+                f"{_num(record.get('overhead_pct')):>7} "
+                f"{_delta_pts(record.get('overhead_pct'), prev, 'overhead_pct'):>6} "
+                f"{('<' + format(gate, 'g') if gate is not None else '-'):>6}  "
+                f"{'yes' if record.get('within_target', True) else 'NO'}"
+            )
+            previous[name] = record
+    if throughput:
+        if lines:
+            lines.append("")
+        header = (
+            f"{'bench/scenario':<28} {'recorded':<10} {'rev':<8} "
+            f"{'pkts/s':>10} {'Δpps%':>7} {'events/s':>11} {'Δevs%':>7} "
+            f"{'sim/wall':>9}  ok"
         )
+        lines += [header, "-" * len(header)]
+        prev_scenarios: Dict[str, Dict[str, Any]] = {}
+        for record in throughput:
+            name = record.get("bench", "?")
+            ok = "yes" if record.get("within_target", True) else "NO"
+            scenarios = record.get("scenarios") or {}
+            for scenario, row in scenarios.items():
+                prev = prev_scenarios.get(f"{name}/{scenario}")
+                lines.append(
+                    f"{name + '/' + scenario:<28} {_day(record):<10} "
+                    f"{_rev(record):<8} "
+                    f"{_num(row.get('packets_per_sec'), 1):>10} "
+                    f"{_delta_pct(row.get('packets_per_sec'), prev, 'packets_per_sec'):>7} "
+                    f"{_num(row.get('events_per_sec'), 1):>11} "
+                    f"{_delta_pct(row.get('events_per_sec'), prev, 'events_per_sec'):>7} "
+                    f"{_num(row.get('sim_per_wall')):>9}  {ok}"
+                )
+                prev_scenarios[f"{name}/{scenario}"] = row
+            for gate_name, gate in (record.get("gates") or {}).items():
+                if not gate.get("ok", True):
+                    lines.append(
+                        f"  !! {name}: gate {gate_name} = "
+                        f"{gate.get('value')} > limit {gate.get('limit')}"
+                    )
     failing = sum(1 for r in records if not r.get("within_target", True))
     lines.append(
         f"{len(records)} record(s)"
@@ -154,7 +270,76 @@ def render_report(bench_dir: Union[str, Path]) -> str:
     return "\n".join(lines)
 
 
-def _num(value: Any) -> str:
+def latest_failures(bench_dir: Union[str, Path]) -> List[str]:
+    """Gate check for CI: one line per *latest* record outside its gate.
+
+    Only the newest record of each bench is judged — history may contain
+    failures that were since fixed.  Returns an empty list when every
+    bench's latest record is within target.
+    """
+    records = load_records(bench_dir)
+    latest: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        name = record.get("bench", "?")
+        current = latest.get(name)
+        if current is None or (
+            record.get("recorded_unix", 0.0) >= current.get("recorded_unix", 0.0)
+        ):
+            latest[name] = record
+    failures: List[str] = []
+    for name in sorted(latest):
+        record = latest[name]
+        if record.get("within_target", True):
+            continue
+        if record.get("kind") == "throughput":
+            bad = [
+                f"{gate_name}={gate.get('value')}>{gate.get('limit')}"
+                for gate_name, gate in (record.get("gates") or {}).items()
+                if not gate.get("ok", True)
+            ]
+            failures.append(
+                f"bench {name}: ratio gate(s) failed: " + ", ".join(bad)
+            )
+        else:
+            failures.append(
+                f"bench {name}: overhead {record.get('overhead_pct')}% "
+                f"outside gate <{record.get('gate_pct')}%"
+            )
+    return failures
+
+
+def _day(record: Dict[str, Any]) -> str:
+    when = record.get("recorded_unix")
+    if isinstance(when, (int, float)):
+        return datetime.fromtimestamp(when, tz=timezone.utc).strftime("%Y-%m-%d")
+    return "?"
+
+
+def _rev(record: Dict[str, Any]) -> str:
+    return (record.get("git_rev") or "?")[:7]
+
+
+def _num(value: Any, digits: int = 2) -> str:
     if isinstance(value, (int, float)):
-        return f"{value:.2f}"
+        return f"{value:.{digits}f}"
     return "-"
+
+
+def _delta_pct(value: Any, prev: Optional[Dict[str, Any]], key: str) -> str:
+    """Percent change vs the previous record's ``key`` (``-`` when absent)."""
+    if prev is None or not isinstance(value, (int, float)):
+        return "-"
+    base = prev.get(key)
+    if not isinstance(base, (int, float)) or base == 0:
+        return "-"
+    return f"{(value - base) / base * 100.0:+.1f}"
+
+
+def _delta_pts(value: Any, prev: Optional[Dict[str, Any]], key: str) -> str:
+    """Absolute change in percentage points vs the previous record."""
+    if prev is None or not isinstance(value, (int, float)):
+        return "-"
+    base = prev.get(key)
+    if not isinstance(base, (int, float)):
+        return "-"
+    return f"{value - base:+.1f}"

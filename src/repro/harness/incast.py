@@ -33,6 +33,7 @@ def run_incast(
     mptcp_subflows: int = 4,
     min_rto: float = 5e-3,
     telemetry: Optional[Telemetry] = None,
+    stats_out: Optional[Dict[str, float]] = None,
 ) -> float:
     """Run the partition-aggregate workload; returns client goodput (bps).
 
@@ -41,6 +42,10 @@ def run_incast(
     stressing the client's access link exactly as in the paper's incast
     experiment.  A ``telemetry`` scope, when given, instruments the run the
     same way :func:`~repro.harness.experiment.run_experiment` does.
+
+    ``stats_out``, when given, is filled with the run's raw throughput
+    counters (``packets`` = NIC-injected, ``events``, ``sim_s``) for the
+    benchmark tier.
     """
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     sim = Simulator()
@@ -132,6 +137,10 @@ def run_incast(
         if sim.peek_time() is None:
             break
     goodput = workload.goodput_bps()
+    if stats_out is not None:
+        stats_out["packets"] = sum(h.tx_nic_packets for h in hosts.values())
+        stats_out["events"] = sim.events_processed
+        stats_out["sim_s"] = sim.now
     if tel.enabled:
         tel.observe_network(net)
         tel.observe_hosts(hosts)

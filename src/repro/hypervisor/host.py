@@ -132,7 +132,7 @@ class Host:
                 return
         if packet.outer is not None:
             self.vswitch.receive_encapsulated(packet)
-        elif "clove_orig_sport" in packet.meta:
+        elif meta and "clove_orig_sport" in meta:
             self.vswitch.receive_rewritten(packet)
         else:
             self.deliver_to_guest(packet)

@@ -94,10 +94,29 @@ class VSwitch:
         #: remote hypervisor ip -> port -> pending echo state
         self._echo: Dict[int, Dict[int, _PathEchoState]] = {}
         self._echo_rotation: Dict[int, int] = {}
+        #: remote ip -> sorted list of its echo-state ports (rebuilt only
+        #: when a new path port appears, not per transmitted packet)
+        self._echo_ports: Dict[int, list] = {}
+        #: remote ip -> False when a full scan proved nothing is pending;
+        #: set True whenever receive queues new telemetry for that remote.
+        #: Conservative: True merely means "worth scanning".
+        self._echo_maybe: Dict[int, bool] = {}
         self._reassembly: Dict[FlowKey, _ReassemblyBuffer] = {}
         #: the policy's WeightedPathTable, cached so the per-packet epoch
         #: stamp costs one attribute read instead of a getattr
         self._weights = getattr(policy, "weights", None)
+        # Per-packet policy flags, frozen at construction (they are class
+        # or __init__ attributes of the policy, never flipped mid-run).
+        self._wants_ecn = bool(policy is not None and policy.wants_ecn)
+        self._wants_int = bool(policy is not None and policy.wants_int)
+        self._wants_latency = bool(
+            policy is not None and getattr(policy, "wants_latency", False)
+        )
+        #: outer (dst_hyp, sport) -> interned FlowKey: the encap header for
+        #: a given path is always the same value, and reusing one object
+        #: lets every downstream hash (switch ECMP memo, flowlet tables)
+        #: hit its cached FlowKey hash
+        self._outer_keys: Dict[tuple, FlowKey] = {}
         # Counters.
         self.tx_encapsulated = 0
         self.rx_encapsulated = 0
@@ -146,21 +165,28 @@ class VSwitch:
         if self.mode == "rewrite":
             self._transmit_rewrite(packet)
             return
-        dst_hyp = packet.inner.dst_ip
-        sport = self.policy.select_source_port(packet.inner, packet, self.sim.now)
+        now = self.sim.now
+        inner = packet.inner
+        dst_hyp = inner.dst_ip
+        sport = self.policy.select_source_port(inner, packet, now)
         if self._tel_trace is not None and packet.payload_bytes:
-            self._tel_trace.flowlet_bytes(packet.inner, packet.payload_bytes)
-        outer = FlowKey(self.host.ip, dst_hyp, sport, STT_DST_PORT)
-        packet.encapsulate(outer, ect=self.policy.wants_ecn)
-        if self.policy.wants_int:
+            self._tel_trace.flowlet_bytes(inner, packet.payload_bytes)
+        outer_id = (dst_hyp, sport)
+        outer = self._outer_keys.get(outer_id)
+        if outer is None:
+            outer = FlowKey(self.host.ip, dst_hyp, sport, STT_DST_PORT)
+            self._outer_keys[outer_id] = outer
+        packet.encapsulate(outer, ect=self._wants_ecn)
+        if self._wants_int:
             packet.int_enabled = True
-        if getattr(self.policy, "wants_latency", False):
+        if self._wants_latency:
             # Stand-in for the NIC timestamp of Section 7 (perfectly
             # synchronized clocks in simulation).
-            packet.meta["clove_ts"] = self.sim.now
+            packet.meta["clove_ts"] = now
         if self._weights is not None:
             packet.clove_epoch = self._weights.epoch_of(dst_hyp)
-        self._attach_echo(packet, dst_hyp)
+        if self._echo_maybe.get(dst_hyp):
+            self._attach_echo(packet, dst_hyp)
         self.tx_encapsulated += 1
         self.host.nic_send(packet)
 
@@ -185,12 +211,13 @@ class VSwitch:
         packet.inner = FlowKey(
             inner.src_ip, inner.dst_ip, sport, inner.dst_port, inner.proto
         )
-        packet.ect = self.policy.wants_ecn
-        if getattr(self.policy, "wants_latency", False):
+        packet.ect = self._wants_ecn
+        if self._wants_latency:
             packet.meta["clove_ts"] = self.sim.now
         if self._weights is not None:
             packet.clove_epoch = self._weights.epoch_of(inner.dst_ip)
-        self._attach_echo(packet, inner.dst_ip)
+        if self._echo_maybe.get(inner.dst_ip):
+            self._attach_echo(packet, inner.dst_ip)
         self.tx_encapsulated += 1
         self.host.nic_send(packet)
 
@@ -207,38 +234,58 @@ class VSwitch:
         self._collect_and_deliver(packet, remote, path_port)
 
     def _attach_echo(self, packet: Packet, dst_hyp: int) -> None:
-        """Piggyback one pending telemetry item for ``dst_hyp``, if any."""
+        """Piggyback one pending telemetry item for ``dst_hyp``, if any.
+
+        Only called when ``_echo_maybe`` says a scan might find something;
+        a scan that comes up empty — everything consumed, or only
+        rate-limited ECN holdbacks remain (which need no scan until their
+        pending bit is re-observed or the interval passes, and the next
+        receive re-arms the flag anyway) — clears the flag when truly
+        nothing is pending.
+        """
         states = self._echo.get(dst_hyp)
         if not states:
+            self._echo_maybe[dst_hyp] = False
             return
-        ports = sorted(states)
+        ports = self._echo_ports.get(dst_hyp)
+        if ports is None or len(ports) != len(states):
+            # _collect_and_deliver maintains this cache; rebuild defensively
+            # for state seeded out-of-band (tests, future control planes).
+            ports = sorted(states)
+            self._echo_ports[dst_hyp] = ports
         start = self._echo_rotation.get(dst_hyp, 0)
         now = self.sim.now
-        for i in range(len(ports)):
-            port = ports[(start + i) % len(ports)]
+        n = len(ports)
+        anything_pending = False
+        for i in range(n):
+            port = ports[(start + i) % n]
             state = states[port]
-            if state.ecn_pending and now - state.last_ecn_relay >= self.ecn_relay_interval:
-                packet.stt_echo_port = port
-                packet.stt_echo_ecn = True
-                packet.stt_echo_util = state.util if state.util_fresh else None
-                packet.stt_echo_seen = state.ecn_seen_at
-                packet.stt_echo_epoch = state.epoch
-                state.ecn_pending = False
-                state.ecn_seen_at = None
-                state.util_fresh = False
-                state.last_ecn_relay = now
-                self._echo_rotation[dst_hyp] = (start + i + 1) % len(ports)
-                self.echoes_sent += 1
-                return
+            if state.ecn_pending:
+                if now - state.last_ecn_relay >= self.ecn_relay_interval:
+                    packet.stt_echo_port = port
+                    packet.stt_echo_ecn = True
+                    packet.stt_echo_util = state.util if state.util_fresh else None
+                    packet.stt_echo_seen = state.ecn_seen_at
+                    packet.stt_echo_epoch = state.epoch
+                    state.ecn_pending = False
+                    state.ecn_seen_at = None
+                    state.util_fresh = False
+                    state.last_ecn_relay = now
+                    self._echo_rotation[dst_hyp] = (start + i + 1) % n
+                    self.echoes_sent += 1
+                    return
+                anything_pending = True
             if state.util_fresh:
                 packet.stt_echo_port = port
                 packet.stt_echo_ecn = False
                 packet.stt_echo_util = state.util
                 packet.stt_echo_epoch = state.epoch
                 state.util_fresh = False
-                self._echo_rotation[dst_hyp] = (start + i + 1) % len(ports)
+                self._echo_rotation[dst_hyp] = (start + i + 1) % n
                 self.echoes_sent += 1
                 return
+        if not anything_pending:
+            self._echo_maybe[dst_hyp] = False
 
     # ------------------------------------------------------------------
     # Receive path
@@ -253,14 +300,18 @@ class VSwitch:
         """Shared receive tail: telemetry, echoes, masking, delivery."""
         # (1) queue telemetry about the forward path (remote -> us) for
         # reflection back to the remote.
-        state = self._echo.setdefault(remote, {}).get(path_port)
+        states = self._echo.get(remote)
+        if states is None:
+            states = self._echo[remote] = {}
+        state = states.get(path_port)
         if state is None:
-            state = _PathEchoState()
-            self._echo[remote][path_port] = state
+            state = states[path_port] = _PathEchoState()
+            self._echo_ports[remote] = sorted(states)
         if packet.ce:
             if not state.ecn_pending:
                 state.ecn_seen_at = self.sim.now
             state.ecn_pending = True
+            self._echo_maybe[remote] = True
             if self._audit is not None:
                 self._audit.on_ce_observed(self.host.ip, remote, path_port)
         if packet.clove_epoch is not None:
@@ -268,12 +319,16 @@ class VSwitch:
         if packet.int_enabled:
             state.util = packet.int_max_util
             state.util_fresh = True
-        sent_at = packet.meta.pop("clove_ts", None)
-        if sent_at is not None:
-            # Section 7 latency mode: reflect the measured one-way delay in
-            # the same context slot INT utilization uses.
-            state.util = self.sim.now - sent_at
-            state.util_fresh = True
+            self._echo_maybe[remote] = True
+        meta = packet.meta
+        if meta:
+            sent_at = meta.pop("clove_ts", None)
+            if sent_at is not None:
+                # Section 7 latency mode: reflect the measured one-way delay
+                # in the same context slot INT utilization uses.
+                state.util = self.sim.now - sent_at
+                state.util_fresh = True
+                self._echo_maybe[remote] = True
 
         # (2) consume any echo the remote attached about our forward paths.
         # The chaos filter may drop, delay, duplicate, or garble the echo

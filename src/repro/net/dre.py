@@ -10,18 +10,29 @@ so both schemes observe the network through identical eyes (as the paper's
 NS2 setup effectively did).
 
 The decay is applied lazily on access instead of with a periodic timer, so
-idle links cost nothing.
+idle links cost nothing.  Samples may also be *scheduled*: the virtual-clock
+link transmitter computes serialization start times ahead of the simulation
+clock, so :meth:`record` buffers samples and folds them into the register —
+in timestamp order — only when a reader catches up to them.  Readers (CONGA
+leaves call :meth:`utilization` / :meth:`quantized` directly) therefore see
+bit-identical values to an estimator fed strictly in real time.
 """
 
 from __future__ import annotations
 
 import math
+from collections import deque
+
+#: buffered samples beyond this are folded in eagerly; only ever reached on
+#: links whose estimator is never read (e.g. Clove-ECN runs, where nothing
+#: consumes utilization), so exactness vs. lazy folding is moot there
+_PENDING_CAP = 512
 
 
 class DiscountingRateEstimator:
     """Lazily-decayed DRE over a link of ``rate_bps`` bits/second."""
 
-    __slots__ = ("rate_bps", "t_dre", "alpha", "_x", "_last_decay")
+    __slots__ = ("rate_bps", "t_dre", "alpha", "_x", "_last_decay", "_pending")
 
     def __init__(self, rate_bps: float, t_dre: float = 40e-6, alpha: float = 0.1) -> None:
         if rate_bps <= 0:
@@ -33,6 +44,9 @@ class DiscountingRateEstimator:
         self.alpha = alpha
         self._x = 0.0
         self._last_decay = 0.0
+        #: (nbytes, timestamp) samples not yet folded into ``_x``;
+        #: timestamps are non-decreasing (the link's serializer clock)
+        self._pending: deque = deque()
 
     def _decay_to(self, now: float) -> None:
         elapsed = now - self._last_decay
@@ -46,12 +60,37 @@ class DiscountingRateEstimator:
             self._x = 0.0
 
     def record(self, nbytes: int, now: float) -> None:
-        """Account for ``nbytes`` transmitted at time ``now``."""
-        self._decay_to(now)
-        self._x += nbytes
+        """Account for ``nbytes`` transmitted at time ``now`` (which may lie
+        ahead of the simulation clock — see module docstring)."""
+        pending = self._pending
+        pending.append((nbytes, now))
+        if len(pending) > _PENDING_CAP:
+            self._drain(pending[-1][1])
+
+    def _drain(self, up_to: float) -> None:
+        """Fold buffered samples with timestamp <= ``up_to`` into ``x``."""
+        pending = self._pending
+        while pending and pending[0][1] <= up_to:
+            nbytes, when = pending.popleft()
+            self._decay_to(when)
+            self._x += nbytes
+
+    def flush_pending(self) -> None:
+        """Fold every buffered sample in, regardless of timestamp."""
+        if self._pending:
+            self._drain(math.inf)
+
+    def drop_pending_after(self, now: float) -> None:
+        """Discard buffered samples scheduled after ``now`` (their
+        transmissions were cancelled by a link failure)."""
+        pending = self._pending
+        while pending and pending[-1][1] > now:
+            pending.pop()
 
     def utilization(self, now: float) -> float:
         """Estimated utilization in [0, ~saturation]; ~1.0 means line rate."""
+        if self._pending:
+            self._drain(now)
         self._decay_to(now)
         window_bytes = self.rate_bps * self.t_dre / self.alpha / 8.0
         return self._x / window_bytes

@@ -32,20 +32,32 @@ def fnv1a_64(data: bytes) -> int:
 
 
 class EcmpHasher:
-    """Per-switch ECMP hasher with a private seed."""
+    """Per-switch ECMP hasher with a private seed.
 
-    __slots__ = ("seed",)
+    The hash is a pure function of (seed, 5-tuple), and the set of distinct
+    5-tuples a switch routes is small (flows plus discovery probes), so
+    hash values are memoized per key — real hardware likewise computes the
+    hash once per flow into its ECMP state.  The memo changes no observable
+    value, only the per-packet cost.
+    """
+
+    __slots__ = ("seed", "_memo")
 
     def __init__(self, seed: int) -> None:
         self.seed = seed & _MASK
+        self._memo: dict = {}
 
     def hash_key(self, key: FlowKey) -> int:
         """Hash a 5-tuple to a 64-bit value, deterministically per switch."""
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
         h = _FNV_OFFSET ^ self.seed
         for word in key.as_tuple():
             for shift in (0, 8, 16, 24):
                 h ^= (word >> shift) & 0xFF
                 h = (h * _FNV_PRIME) & _MASK
+        self._memo[key] = h
         return h
 
     def select(self, key: FlowKey, n_choices: int) -> int:

@@ -7,20 +7,34 @@ the far side.  Bidirectional cables are simply two ``Link`` objects.
 Each link owns:
 
 * a :class:`~repro.net.queue.DropTailQueue` (the egress buffer of the port),
-* a transmitter process (one packet in flight at a time — store-and-forward),
+* a virtual-clock transmitter (one packet in flight at a time —
+  store-and-forward),
 * a :class:`~repro.net.dre.DiscountingRateEstimator` used both by CONGA's
   leaf logic and by INT stamping, and
 * an up/down flag so experiments can fail links to create asymmetry.
+
+The transmitter keeps a *virtual serializer clock* (``_free_at``) instead of
+an event chain: a packet admitted at ``t`` starts serializing at
+``start = max(t, _free_at)``, ends at ``end = start + size/rate`` and is
+delivered ``delay_s`` later — all computed at admission, so the whole hop
+costs one simulator event (the delivery) instead of the three the old
+start/finish/deliver chain paid.  The queue still holds every admitted
+packet until its serialization start passes; ``_settle`` lazily folds
+started packets into the tx counters (at admission — so occupancy/ECN
+decisions see exactly the store-and-forward state — and at delivery, so
+the conservation ledger never observes a delivery outrunning its
+dequeue).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
 
 from repro.net.dre import DiscountingRateEstimator
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
 ReceiveFn = Callable[[Packet], None]
 
@@ -55,15 +69,19 @@ class Link:
         #: switches with a non-zero failover delay consult this to keep a
         #: recently-dead link in their ECMP groups (stale hardware state)
         self.down_since = float("-inf")
-        self._busy = False
+        #: when the serializer finishes its last accepted packet
+        self._free_at = 0.0
+        #: per queued packet, parallel to ``queue._items``:
+        #: (serialization start, serialization end, delivery event)
+        self._meta: Deque[Tuple[float, float, Event]] = deque()
         self._receive: Optional[ReceiveFn] = None
         # Counters.
         self.tx_packets = 0
         self.tx_bytes = 0
         #: packets handed to the far-side receive handler
         self.rx_delivered = 0
-        #: packets that finished serializing into a link that had died
-        #: (the only loss on a link that is not a counted queue drop)
+        #: packets that were on the wire when the link died (the only loss
+        #: on a link that is not a counted queue drop)
         self.lost_in_flight = 0
         #: queued packets discarded by :meth:`fail` (also in stats.dropped)
         self.flushed_packets = 0
@@ -73,6 +91,12 @@ class Link:
     _tel_events = None
     _tel_drops = None
     _tel_marks = None
+
+    #: global liveness generation, bumped by every :meth:`fail` /
+    #: :meth:`recover` on any link; switches key their cached live ECMP
+    #: member lists on it, so the caches invalidate exactly when some
+    #: link's ``up`` flag flips
+    state_gen = 0
 
     def attach_telemetry(self, telemetry) -> None:
         """Bind this link's hot-path drop/mark hooks to a telemetry scope."""
@@ -91,66 +115,94 @@ class Link:
     # Data path
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
-        """Offer a packet to the egress queue; starts the transmitter if idle.
-
-        Returns ``False`` when the packet was dropped (queue full or link
-        down).  A down link silently discards traffic, matching a dead cable.
+        """Offer a packet to the egress queue; returns ``False`` when it was
+        dropped (queue full or link down).  A down link silently discards
+        traffic, matching a dead cable.
         """
-        events = self._tel_events
         if not self.up:
             meta = packet.meta
-            if "probe" in meta or "probe_reply" in meta or "icmp" in meta:
+            if meta and ("probe" in meta or "probe_reply" in meta or "icmp" in meta):
                 self.queue.stats.probe_dropped += 1
             else:
                 self.queue.stats.dropped += 1
-            if events is not None:
+            if self._tel_events is not None:
                 self._tel_drops.inc()
-                events.emit("switch.drop", self.sim.now,
-                            link=self.name, reason="link_down")
+                self._tel_events.emit("switch.drop", self.sim.now,
+                                      link=self.name, reason="link_down")
             return False
+        sim = self.sim
+        now = sim.now
+        pending = self._meta
+        # Fold already-started transmissions out of the buffer first, so the
+        # occupancy the drop/ECN decision sees is exactly the waiting set a
+        # store-and-forward port would hold.
+        if pending and pending[0][0] <= now:
+            self._settle(now)
+        events = self._tel_events
+        queue = self.queue
         if events is not None:
             ce_before = packet.ce
-            if not self.queue.enqueue(packet, self.sim.now):
+            if not queue.enqueue(packet, now):
                 self._tel_drops.inc()
-                events.emit("switch.drop", self.sim.now,
+                events.emit("switch.drop", now,
                             link=self.name, reason="queue_full",
-                            depth=len(self.queue))
+                            depth=len(queue))
                 return False
             if packet.ce and not ce_before:
                 self._tel_marks.inc()
-                events.emit("switch.ecn_mark", self.sim.now,
-                            link=self.name, depth=len(self.queue))
-        elif not self.queue.enqueue(packet, self.sim.now):
+                events.emit("switch.ecn_mark", now,
+                            link=self.name, depth=len(queue))
+        elif not queue.enqueue(packet, now):
             return False
-        if not self._busy:
-            self._start_transmission()
+        start = self._free_at
+        if start < now:
+            start = now
+        size = packet.size
+        end = start + size * 8.0 / self.rate_bps
+        self._free_at = end
+        self.dre.record(size, start)
+        event = sim.at(end + self.delay_s, self._deliver, packet)
+        pending.append((start, end, event))
         return True
 
-    def _start_transmission(self) -> None:
-        packet = self.queue.dequeue(self.sim.now)
-        if packet is None:
-            self._busy = False
-            return
-        self._busy = True
-        tx_time = packet.size * 8.0 / self.rate_bps
-        self.dre.record(packet.size, self.sim.now)
-        self.tx_packets += 1
-        self.tx_bytes += packet.size
-        self.sim.schedule(tx_time, self._finish_transmission, packet)
+    def _settle(self, now: float) -> None:
+        """Evict every packet whose serialization has started by ``now``."""
+        pending = self._meta
+        queue = self.queue
+        while pending and pending[0][0] <= now:
+            start = pending.popleft()[0]
+            packet = queue.dequeue(start)
+            self.tx_packets += 1
+            self.tx_bytes += packet.size
 
-    def _finish_transmission(self, packet: Packet) -> None:
-        # Propagation: the packet arrives delay_s after serialization ends.
-        if self.up and self._receive is not None:
-            self.sim.schedule(self.delay_s, self._deliver, packet)
-        else:
-            self.lost_in_flight += 1
-        # Move on to the next queued packet immediately.
-        self._start_transmission()
+    def sync(self) -> None:
+        """Fold started-but-unsettled transmissions into the counters.
+
+        The virtual-clock transmitter evicts lazily on the data path;
+        out-of-band readers of exact queue occupancy (the audit
+        invariants) call this first.
+        """
+        if self._meta:
+            self._settle(self.sim.now)
 
     def _deliver(self, packet: Packet) -> None:
-        assert self._receive is not None
+        # Deliveries are FIFO, so settling up to now always evicts this
+        # packet's own entry first — keeping ``rx_delivered`` from ever
+        # outrunning the queue's dequeue count.
+        pending = self._meta
+        queue = self.queue
+        now = self.sim.now
+        while pending and pending[0][0] <= now:
+            start = pending.popleft()[0]
+            settled = queue.dequeue(start)
+            self.tx_packets += 1
+            self.tx_bytes += settled.size
+        receive = self._receive
+        if receive is None:
+            self.lost_in_flight += 1
+            return
         self.rx_delivered += 1
-        self._receive(packet)
+        receive(packet)
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -158,35 +210,97 @@ class Link:
     def fail(self) -> int:
         """Take the link down; returns how many queued packets were flushed
         (lost).  Emits a ``link.down`` telemetry event when instrumented,
-        so fault timelines are recoverable from any event log."""
+        so fault timelines are recoverable from any event log.
+
+        Packets already past the serializer keep propagating and deliver;
+        the packet on the wire mid-serialization dies with the link; the
+        waiting buffer is flushed.
+        """
+        now = self.sim.now
         self.up = False
-        self.down_since = self.sim.now
+        self.down_since = now
+        Link.state_gen += 1
+        pending = self._meta
+        queue = self.queue
+        # Fully serialized: normal evictions, deliveries left scheduled.
+        while pending and pending[0][1] <= now:
+            start = pending.popleft()[0]
+            packet = queue.dequeue(start)
+            self.tx_packets += 1
+            self.tx_bytes += packet.size
+        # Mid-serialization: counted as transmitted, lost on the wire.
+        if pending and pending[0][0] <= now:
+            start, _end, event = pending.popleft()
+            packet = queue.dequeue(start)
+            self.tx_packets += 1
+            self.tx_bytes += packet.size
+            event.cancel()
+            self.lost_in_flight += 1
+        # Waiting: flushed, like the buffer of a yanked line card.
         flushed = 0
-        while self.queue.dequeue(self.sim.now) is not None:
-            self.queue.stats.dropped += 1
+        stats = queue.stats
+        while pending:
+            pending.popleft()[2].cancel()
+            queue.dequeue(now)
+            stats.dropped += 1
             flushed += 1
         self.flushed_packets += flushed
-        self._busy = False
+        # Their serializations will never happen.
+        self.dre.drop_pending_after(now)
+        self._free_at = now
         if self._tel_events is not None:
-            self._tel_events.emit("link.down", self.sim.now,
+            self._tel_events.emit("link.down", now,
                                   link=self.name, flushed=flushed)
         return flushed
 
     def recover(self) -> None:
-        """Bring the link back up."""
+        """Bring the link back up (the buffer is empty after a failure, so
+        there is no transmitter to restart)."""
         self.up = True
         self.down_since = float("-inf")
+        Link.state_gen += 1
         if self._tel_events is not None:
             self._tel_events.emit("link.up", self.sim.now, link=self.name)
-        if not self.queue.is_empty and not self._busy:
-            self._start_transmission()
 
     def set_rate(self, rate_bps: float) -> None:
-        """Change the live transmit rate (keeps the DRE consistent)."""
+        """Change the live transmit rate (keeps the DRE consistent).
+
+        The packet on the wire keeps its old-rate schedule, as hardware
+        would; every waiting packet's serialization window — and its
+        delivery event — is re-planned at the new rate.
+        """
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
         self.rate_bps = rate_bps
         self.dre.rate_bps = rate_bps
+        pending = self._meta
+        if not pending:
+            return
+        sim = self.sim
+        now = sim.now
+        # Apply queued DRE samples before their start times move (rare
+        # chaos-only path; keeps the estimator's timeline monotonic).
+        self.dre.flush_pending()
+        rebuilt: Deque[Tuple[float, float, Event]] = deque()
+        prev_end: Optional[float] = None
+        items: List[Tuple[Packet, float]] = list(self.queue._items)
+        for (start, end, event), (packet, _enqueued) in zip(pending, items):
+            if start <= now:
+                rebuilt.append((start, end, event))
+                prev_end = end
+                continue
+            # The first waiting packet stays anchored to the in-flight
+            # packet's (old-rate) end; the rest chain at the new rate.
+            new_start = start if prev_end is None else prev_end
+            new_end = new_start + packet.size * 8.0 / rate_bps
+            if new_start != start or new_end != end:
+                event.cancel()
+                event = sim.at(new_end + self.delay_s, self._deliver, packet)
+            rebuilt.append((new_start, new_end, event))
+            prev_end = new_end
+        self._meta = rebuilt
+        if prev_end is not None:
+            self._free_at = prev_end
 
     def degrade(self, factor: float) -> None:
         """Run at ``factor`` of the *nominal* rate (repeat calls don't

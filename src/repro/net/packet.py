@@ -17,7 +17,6 @@ source, exactly as in Figure 2 / Section 4 of the paper.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 #: Conventional sizes (bytes).
@@ -33,15 +32,48 @@ STT_DST_PORT = 7471
 _packet_ids = itertools.count(1)
 
 
-@dataclass(frozen=True)
 class FlowKey:
-    """A transport 5-tuple.  Hashable so it can key flow/flowlet tables."""
+    """A transport 5-tuple.  Hashable so it can key flow/flowlet tables.
 
-    src_ip: int
-    dst_ip: int
-    src_port: int
-    dst_port: int
-    proto: int = 6  # TCP
+    Immutable, with the tuple view and its hash precomputed at construction:
+    a FlowKey keys every per-packet table in the pipeline (flowlet caches,
+    endpoint demux, congestion state, ECMP hashing), so it is hashed far
+    more often than it is built.  The hash matches the frozen-dataclass
+    definition this class replaced (``hash`` of the field tuple).
+    """
+
+    __slots__ = ("src_ip", "dst_ip", "src_port", "dst_port", "proto",
+                 "_tuple", "_hash")
+
+    def __init__(self, src_ip: int, dst_ip: int, src_port: int,
+                 dst_port: int, proto: int = 6) -> None:
+        fill = object.__setattr__
+        fill(self, "src_ip", src_ip)
+        fill(self, "dst_ip", dst_ip)
+        fill(self, "src_port", src_port)
+        fill(self, "dst_port", dst_port)
+        fill(self, "proto", proto)
+        astuple = (src_ip, dst_ip, src_port, dst_port, proto)
+        fill(self, "_tuple", astuple)
+        fill(self, "_hash", hash(astuple))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("FlowKey is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: Any) -> Any:
+        if isinstance(other, FlowKey):
+            return self._tuple == other._tuple
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowKey(src_ip={self.src_ip}, dst_ip={self.dst_ip}, "
+            f"src_port={self.src_port}, dst_port={self.dst_port}, "
+            f"proto={self.proto})"
+        )
 
     def reversed(self) -> "FlowKey":
         """The 5-tuple of traffic flowing the opposite direction."""
@@ -49,7 +81,7 @@ class FlowKey:
 
     def as_tuple(self) -> Tuple[int, int, int, int, int]:
         """The 5-tuple as a plain tuple (hashing/iteration helper)."""
-        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.proto)
+        return self._tuple
 
 
 class Packet:
@@ -70,6 +102,7 @@ class Packet:
         "int_enabled", "int_max_util",
         "flowcell_id", "flowcell_seq",
         "dsn", "subflow_id",
+        "tsecr", "sack",
         "created_at", "meta", "trace",
     )
 
@@ -118,6 +151,12 @@ class Packet:
         # MPTCP: data-level sequence number and subflow index.
         self.dsn: Optional[int] = None
         self.subflow_id: Optional[int] = None
+        # TCP option fields carried on ACKs.  These are slots rather than
+        # ``meta`` entries so that a pure ACK keeps an *empty* meta dict —
+        # the hypervisor receive path skips its whole control-message demux
+        # on falsy meta, and ACKs are roughly half of all packets.
+        self.tsecr: Optional[float] = None
+        self.sack: Optional[List[Tuple[int, int]]] = None
         self.created_at = created_at
         #: Free-form scratch space for protocol extensions (CONGA tags, ...).
         self.meta: Dict[str, Any] = {}

@@ -76,23 +76,25 @@ class DropTailQueue:
         or above the threshold, CE is set (mark-on-enqueue, as DCTCP
         recommends and the paper's switches were configured to do).
         """
-        if len(self._items) >= self.capacity_packets:
-            self.stats.dropped += 1
+        items = self._items
+        stats = self.stats
+        depth = len(items)
+        if depth >= self.capacity_packets:
+            stats.dropped += 1
             return False
-        if (
-            self.ecn_threshold_packets is not None
-            and packet.ect
-            and len(self._items) >= self.ecn_threshold_packets
-        ):
+        threshold = self.ecn_threshold_packets
+        if threshold is not None and packet.ect and depth >= threshold:
             packet.ce = True
-            self.stats.ecn_marked += 1
-        self._items.append((packet, now))
-        self.byte_count += packet.size
-        self.stats.enqueued += 1
-        if len(self._items) > self.stats.peak_packets:
-            self.stats.peak_packets = len(self._items)
-        if self.byte_count > self.stats.peak_bytes:
-            self.stats.peak_bytes = self.byte_count
+            stats.ecn_marked += 1
+        items.append((packet, now))
+        depth += 1
+        byte_count = self.byte_count + packet.size
+        self.byte_count = byte_count
+        stats.enqueued += 1
+        if depth > stats.peak_packets:
+            stats.peak_packets = depth
+        if byte_count > stats.peak_bytes:
+            stats.peak_bytes = byte_count
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:

@@ -59,6 +59,10 @@ class Switch:
         #: dead member is blackholed — the regime edge-based path health
         #: monitoring (repro.core.health) exists to fix.
         self.failover_delay = 0.0
+        #: dst_ip -> (live member list, Link.state_gen it was computed at);
+        #: bypassed entirely while ``failover_delay`` is non-zero (liveness
+        #: is then a function of time, not just of up/down flips)
+        self._live_cache: Dict[int, tuple] = {}
         self.rx_packets = 0
         self.blackholed = 0
         #: packets consumed here because their TTL hit zero
@@ -79,6 +83,7 @@ class Switch:
     def add_route(self, dst_ip: int, links: Sequence[Link]) -> None:
         """Install/replace the ECMP group towards ``dst_ip``."""
         self.routes[dst_ip] = list(links)
+        self._live_cache.pop(dst_ip, None)
 
     def ingress_handler(self, link_in: Optional[Link]) -> Callable[[Packet], None]:
         """Return the receive callback for packets arriving over ``link_in``."""
@@ -127,7 +132,13 @@ class Switch:
                 if link.up or link.down_since > horizon
             ]
         else:
-            live = [link for link in group if link.up]
+            gen = Link.state_gen
+            cached = self._live_cache.get(key.dst_ip)
+            if cached is not None and cached[1] == gen:
+                live = cached[0]
+            else:
+                live = [link for link in group if link.up]
+                self._live_cache[key.dst_ip] = (live, gen)
         if not live:
             self.blackholed += 1
             if self._tel_events is not None:

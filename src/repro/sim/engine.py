@@ -22,11 +22,15 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import sys
 import time as _time
 from typing import Any, Callable, List, Optional, TYPE_CHECKING, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.telemetry.profiler import SimProfiler
+
+_INFINITY = float("inf")
+_NO_BUDGET = sys.maxsize
 
 
 class Event:
@@ -93,7 +97,10 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.at(self.now + delay, fn, *args)
+        time = self.now + delay
+        event = Event(time, next(self._seq), fn, args)
+        heapq.heappush(self._queue, (time, event.seq, event))
+        return event
 
     def at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
@@ -116,61 +123,79 @@ class Simulator:
         When the loop was cut short instead — by ``max_events`` or
         :meth:`stop` — ``now`` stays at the last processed event, so events
         still queued at or after ``now`` remain valid for a later ``run()``.
+
+        The loop variant (plain / profiled / audited) is dispatched *once*
+        per call; the optional bounds are folded into sentinels
+        (``inf`` / ``sys.maxsize``) so the per-event body carries no
+        ``is not None`` branches.
         """
+        limit = _INFINITY if until is None else until
+        budget = _NO_BUDGET if max_events is None else max_events
         self._running = True
-        processed = 0
-        queue = self._queue
-        interrupted = False
         try:
             if self.auditor is not None:
-                processed, interrupted = self._run_audited(until, max_events)
+                interrupted = self._run_audited(limit, budget)
             elif self.profiler is not None:
-                processed, interrupted = self._run_profiled(until, max_events)
+                interrupted = self._run_profiled(limit, budget)
             else:
-                while queue and self._running:
-                    time, _seq, event = queue[0]
-                    if until is not None and time > until:
-                        break
-                    heapq.heappop(queue)
-                    if event.cancelled:
-                        continue
-                    self.now = time
-                    event.fn(*event.args)
-                    processed += 1
-                    self._events_processed += 1
-                    if max_events is not None and processed >= max_events:
-                        interrupted = True
-                        break
-                interrupted = interrupted or not self._running
+                interrupted = self._run_plain(limit, budget)
         finally:
             self._running = False
         if not interrupted and until is not None and self.now < until:
             self.now = until
 
-    def _run_profiled(
-        self, until: Optional[float], max_events: Optional[int]
-    ) -> Tuple[int, bool]:
+    def _run_plain(self, limit: float, budget: int) -> bool:
+        """The unmeasured fast path.  Returns ``interrupted``."""
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
+        interrupted = False
+        try:
+            while queue and self._running:
+                entry = queue[0]
+                time = entry[0]
+                if time > limit:
+                    break
+                pop(queue)
+                event = entry[2]
+                if event.cancelled:
+                    continue
+                self.now = time
+                event.fn(*event.args)
+                processed += 1
+                if processed >= budget:
+                    interrupted = True
+                    break
+            interrupted = interrupted or not self._running
+        finally:
+            self._events_processed += processed
+        return interrupted
+
+    def _run_profiled(self, limit: float, budget: int) -> bool:
         """The :meth:`run` loop with per-callback wall-clock accounting.
 
         Kept separate so unprofiled runs (the normal case) pay nothing for
-        the timing calls.  Returns ``(processed, interrupted)``.
+        the timing calls.  Returns ``interrupted``.
         """
         from repro.telemetry.profiler import callback_name
 
         profiler = self.profiler
         queue = self._queue
+        pop = heapq.heappop
         perf = _time.perf_counter
         processed = 0
         interrupted = False
         run_start = perf()
         try:
             while queue and self._running:
-                time, _seq, event = queue[0]
-                if until is not None and time > until:
+                entry = queue[0]
+                time = entry[0]
+                if time > limit:
                     break
                 if len(queue) > profiler.heap_high_water:
                     profiler.heap_high_water = len(queue)
-                heapq.heappop(queue)
+                pop(queue)
+                event = entry[2]
                 if event.cancelled:
                     continue
                 self.now = time
@@ -178,18 +203,16 @@ class Simulator:
                 event.fn(*event.args)
                 profiler.record_callback(callback_name(event.fn), perf() - started)
                 processed += 1
-                self._events_processed += 1
-                if max_events is not None and processed >= max_events:
+                if processed >= budget:
                     interrupted = True
                     break
             interrupted = interrupted or not self._running
         finally:
+            self._events_processed += processed
             profiler.record_run(processed, perf() - run_start)
-        return processed, interrupted
+        return interrupted
 
-    def _run_audited(
-        self, until: Optional[float], max_events: Optional[int]
-    ) -> Tuple[int, bool]:
+    def _run_audited(self, limit: float, budget: int) -> bool:
         """The :meth:`run` loop with monotonicity checks and a streaming
         determinism digest (see :mod:`repro.audit.digest`).
 
@@ -199,10 +222,11 @@ class Simulator:
         bound method) so the qualname lookup happens once per distinct
         callback, not once per event; the canonical qualname-keyed token
         table stays authoritative, so two callables sharing a qualname
-        share a token.  Returns ``(processed, interrupted)``.
+        share a token.  Returns ``interrupted``.
         """
         auditor = self.auditor
         queue = self._queue
+        pop = heapq.heappop
         processed = 0
         interrupted = False
         # Localize the digest state; written back after the loop.
@@ -212,10 +236,12 @@ class Simulator:
         last_time = auditor.last_event_time
         try:
             while queue and self._running:
-                time, _seq, event = queue[0]
-                if until is not None and time > until:
+                entry = queue[0]
+                time = entry[0]
+                if time > limit:
                     break
-                heapq.heappop(queue)
+                pop(queue)
+                event = entry[2]
                 if event.cancelled:
                     continue
                 if time < last_time:
@@ -240,19 +266,19 @@ class Simulator:
                 self.now = time
                 fn(*event.args)
                 processed += 1
-                self._events_processed += 1
-                if max_events is not None and processed >= max_events:
+                if processed >= budget:
                     interrupted = True
                     break
             interrupted = interrupted or not self._running
         finally:
+            self._events_processed += processed
             auditor.digest_state = digest
             # Every executed event was mixed exactly once (a callback that
             # raised mid-event may leave the count one short of the state;
             # such a run aborts before its report finalizes as a pass).
             auditor.digest_count += processed
             auditor.last_event_time = last_time
-        return processed, interrupted
+        return interrupted
 
     def step(self) -> bool:
         """Process a single event.  Returns ``False`` when the queue is empty."""

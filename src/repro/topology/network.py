@@ -82,13 +82,19 @@ class Network:
     def _wire_receiver(self, link: Link, dst: str) -> None:
         if dst in self.switches:
             link.connect(self.switches[dst].ingress_handler(link))
-        else:
-            # Host NICs may be registered after links are created; bind lazily.
-            def _deliver(packet: Packet, _dst: str = dst) -> None:
-                handler = self._host_rx.get(_dst)
-                if handler is not None:
-                    handler(packet)
-            link.connect(_deliver)
+            return
+        handler = self._host_rx.get(dst)
+        if handler is not None:
+            link.connect(handler)
+            return
+        # Host NICs are usually registered after links are created;
+        # register_host_receiver rebinds the link straight to the handler
+        # then.  Until that happens, fall back to a registry lookup.
+        def _deliver(packet: Packet, _dst: str = dst) -> None:
+            live = self._host_rx.get(_dst)
+            if live is not None:
+                live(packet)
+        link.connect(_deliver)
 
     def add_host(
         self, name: str, leaf: str, spec: LinkSpec, uplink_spec: Optional[LinkSpec] = None
@@ -113,6 +119,12 @@ class Network:
         if name not in self.hosts:
             raise KeyError(f"unknown host {name}")
         self._host_rx[name] = handler
+        # Rebind this host's ingress links straight to the handler so the
+        # data path skips the per-packet registry lookup.
+        for (_src, dst), group in self.links.items():
+            if dst == name:
+                for link in group:
+                    link.connect(handler)
 
     # ------------------------------------------------------------------
     # Convenience accessors

@@ -19,7 +19,8 @@ Simplifications (documented deviations):
 from __future__ import annotations
 
 import bisect
-from typing import Callable, List, Optional, Tuple, TYPE_CHECKING
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.net.packet import FlowKey, MSS, Packet, make_ack_packet, make_data_packet
 from repro.sim.engine import Event, Simulator
@@ -104,12 +105,20 @@ class TcpSender:
         self.rttvar = 0.0
         self.rto = 3 * min_rto
         self.backoff = 1
+        # Retransmission timers are deadline-based: every new ACK just moves
+        # ``_rto_deadline`` / ``_tlp_deadline`` forward, and the (single)
+        # scheduled event re-schedules itself toward the live deadline when
+        # it fires early.  Observable fire times are identical to the
+        # classic cancel-and-rearm scheme, but the per-ACK cost drops from
+        # two Event allocations + heap pushes to two float stores.
         self._rto_event: Optional[Event] = None
         self._tlp_event: Optional[Event] = None
+        self._rto_deadline: Optional[float] = None
+        self._tlp_deadline: Optional[float] = None
         self._tlp_pending = False
         self.tlp_probes = 0
         # (seq_end, sent_time) samples for non-retransmitted segments.
-        self._rtt_samples: List[Tuple[int, float]] = []
+        self._rtt_samples: Deque[Tuple[int, float]] = deque()
 
         # Counters.
         self.fast_retransmits = 0
@@ -170,7 +179,9 @@ class TcpSender:
             # RTT estimator — otherwise recovery time leaks into SRTT and
             # the RTO snowballs.
             end = seq + payload
-            self._rtt_samples = [(e, t) for (e, t) in self._rtt_samples if e > end]
+            self._rtt_samples = deque(
+                (e, t) for (e, t) in self._rtt_samples if e > end
+            )
         self.packets_sent += 1
         self.bytes_sent += payload
         self.host.send_from_guest(packet)
@@ -179,18 +190,33 @@ class TcpSender:
         """Hook for subclasses to stamp extra headers (MPTCP DSN, ...)."""
 
     def _arm_rto(self) -> None:
+        """Ensure the RTO (and TLP) deadlines are set; keep earlier ones."""
         if self.flight_size <= 0:
             self._cancel_rto()
             return
-        if self._rto_event is None or self._rto_event.cancelled:
-            self._rto_event = self.sim.schedule(self.rto * self.backoff, self._on_rto)
+        if self._rto_deadline is None:
+            deadline = self.sim.now + self.rto * self.backoff
+            self._rto_deadline = deadline
+            event = self._rto_event
+            if event is None or event.cancelled:
+                self._rto_event = self.sim.at(deadline, self._on_rto)
+            elif event.time > deadline:
+                # The pending event would fire too late (backoff was reset);
+                # this is the only case that still pays a cancel+rearm.
+                event.cancel()
+                self._rto_event = self.sim.at(deadline, self._on_rto)
+            # else: the pending event fires at/before the deadline and will
+            # chase it forward from _on_rto.
         self._arm_tlp()
 
     def _restart_rto(self) -> None:
-        self._cancel_rto()
+        self._rto_deadline = None
+        self._tlp_deadline = None
         self._arm_rto()
 
     def _cancel_rto(self) -> None:
+        self._rto_deadline = None
+        self._tlp_deadline = None
         if self._rto_event is not None:
             self._rto_event.cancel()
             self._rto_event = None
@@ -201,10 +227,16 @@ class TcpSender:
     def _arm_tlp(self) -> None:
         if not self.tail_loss_probe or self.srtt is None or self.in_recovery:
             return
-        if self._tlp_event is not None and not self._tlp_event.cancelled:
-            return
-        pto = min(max(2 * self.srtt, 1e-4), self.rto * self.backoff * 0.9)
-        self._tlp_event = self.sim.schedule(pto, self._on_tlp)
+        if self._tlp_deadline is None:
+            pto = min(max(2 * self.srtt, 1e-4), self.rto * self.backoff * 0.9)
+            deadline = self.sim.now + pto
+            self._tlp_deadline = deadline
+            event = self._tlp_event
+            if event is None or event.cancelled:
+                self._tlp_event = self.sim.at(deadline, self._on_tlp)
+            elif event.time > deadline:
+                event.cancel()
+                self._tlp_event = self.sim.at(deadline, self._on_tlp)
 
     def _on_tlp(self) -> None:
         """Probe the tail: re-send the head-of-line segment, no cwnd change.
@@ -213,7 +245,17 @@ class TcpSender:
         drives normal fast-retransmit recovery at ~2 SRTT instead of a full
         RTO with window collapse.
         """
+        deadline = self._tlp_deadline
+        if deadline is None:
+            # Disarmed since this event was scheduled.
+            self._tlp_event = None
+            return
+        if self.sim.now < deadline:
+            # ACKs pushed the probe time out; chase the live deadline.
+            self._tlp_event = self.sim.at(deadline, self._on_tlp)
+            return
         self._tlp_event = None
+        self._tlp_deadline = None
         if self.flight_size <= 0 or self.in_recovery:
             return
         self.tlp_probes += 1
@@ -230,17 +272,18 @@ class TcpSender:
     # ------------------------------------------------------------------
     def on_packet(self, packet: Packet) -> None:
         """Handle an incoming (inner) ACK segment."""
-        if packet.ack < 0:
+        ack = packet.ack
+        if ack < 0:
             return
         if self.ecn_capable and FLAG_ECE in packet.flags:
             self._react_to_ecn()
-        if self.sack and "sack" in packet.meta:
-            self._merge_sack(packet.meta["sack"])
-        if self.timestamps and "tsecr" in packet.meta:
-            self._record_rtt(self.sim.now - packet.meta["tsecr"])
-        if packet.ack > self.snd_una:
-            self._on_new_ack(packet.ack)
-        elif packet.ack == self.snd_una and self.flight_size > 0:
+        if self.sack and packet.sack is not None:
+            self._merge_sack(packet.sack)
+        if self.timestamps and packet.tsecr is not None:
+            self._record_rtt(self.sim.now - packet.tsecr)
+        if ack > self.snd_una:
+            self._on_new_ack(ack)
+        elif ack == self.snd_una and self.snd_nxt > ack:
             self._on_dupack()
 
     # ------------------------------------------------------------------
@@ -416,7 +459,18 @@ class TcpSender:
             )
 
     def _on_rto(self) -> None:
+        deadline = self._rto_deadline
+        if deadline is None:
+            # Disarmed since this event was scheduled.
+            self._rto_event = None
+            return
+        if self.sim.now < deadline:
+            # ACKs restarted the timer since this event was scheduled;
+            # chase the live deadline instead of cancelling per ACK.
+            self._rto_event = self.sim.at(deadline, self._on_rto)
+            return
         self._rto_event = None
+        self._rto_deadline = None
         if self.flight_size <= 0:
             return
         self.timeouts += 1
@@ -453,8 +507,9 @@ class TcpSender:
     def _sample_rtt(self, ack: int) -> None:
         """Cumulative-ACK sampling, used only when timestamps are off."""
         sample: Optional[float] = None
-        while self._rtt_samples and self._rtt_samples[0][0] <= ack:
-            seq_end, sent_at = self._rtt_samples.pop(0)
+        samples = self._rtt_samples
+        while samples and samples[0][0] <= ack:
+            _seq_end, sent_at = samples.popleft()
             sample = self.sim.now - sent_at
         if self.timestamps or sample is None:
             return
@@ -558,9 +613,8 @@ class TcpReceiver:
         if self._ooo:
             # SACK: report up to three out-of-order blocks, most recent info
             # is implicit in the intervals themselves.
-            ack.meta["sack"] = list(self._ooo[:3])
-        if self._tsecr is not None:
-            ack.meta["tsecr"] = self._tsecr
+            ack.sack = self._ooo[:3]
+        ack.tsecr = self._tsecr
         self.host.send_from_guest(ack)
 
 
